@@ -1,0 +1,124 @@
+// Command histcheck reads a history file (see internal/histfile for the
+// format) and reports its correctness properties: well-formedness,
+// atomicity, dynamic atomicity, online dynamic atomicity, and — when a
+// recovery method is specified — whether the abstract object automaton
+// I(X, Spec, View, Conflict) accepts each object's projection under the
+// minimal conflict relation for that method.
+//
+// Usage:
+//
+//	histcheck [-view uip|du] [-online] file.hist
+//	cat file.hist | histcheck
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/atomicity"
+	"repro/internal/commute"
+	"repro/internal/core"
+	"repro/internal/histfile"
+	"repro/internal/history"
+)
+
+func main() {
+	viewName := flag.String("view", "", "check acceptance by the abstract model with this recovery method: uip or du")
+	online := flag.Bool("online", false, "also check online dynamic atomicity (exponential in active transactions)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	file, err := histfile.Parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("events: %d, objects: %d, transactions: %d\n",
+		len(file.H), len(file.H.Objects()), len(file.H.Txns()))
+
+	if err := history.WellFormed(file.H); err != nil {
+		fmt.Printf("well-formed:            NO (%v)\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("well-formed:            yes")
+
+	atomic, err := atomicity.Atomic(file.H, file.Specs)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("atomic:                 %s\n", yesNo(atomic))
+
+	da, viol, err := atomicity.DynamicAtomic(file.H, file.Specs)
+	if err != nil {
+		fatal(err)
+	}
+	if da {
+		fmt.Println("dynamic atomic:         yes")
+	} else {
+		fmt.Printf("dynamic atomic:         NO (%v)\n", viol)
+	}
+
+	if *online {
+		oda, viol, err := atomicity.OnlineDynamicAtomic(file.H, file.Specs)
+		if err != nil {
+			fatal(err)
+		}
+		if oda {
+			fmt.Println("online dynamic atomic:  yes")
+		} else {
+			fmt.Printf("online dynamic atomic:  NO (%v)\n", viol)
+		}
+	}
+
+	if *viewName != "" {
+		var view core.View
+		switch *viewName {
+		case "uip":
+			view = core.UIP
+		case "du":
+			view = core.DU
+		default:
+			fatal(fmt.Errorf("unknown view %q (want uip or du)", *viewName))
+		}
+		for _, x := range file.H.Objects() {
+			ty := file.Types[x]
+			var rel commute.Relation
+			if *viewName == "uip" {
+				rel = ty.NRBC()
+			} else {
+				rel = ty.NFC()
+			}
+			ok, idx, reason := core.Accepts(x, file.Specs[x], view, rel, file.H.ProjectObj(x))
+			if ok {
+				fmt.Printf("I(%s,Spec,%s,%s) accepts:  yes\n", x, view.Name, rel.Name())
+			} else {
+				fmt.Printf("I(%s,Spec,%s,%s) accepts:  NO (event %d: %s)\n", x, view.Name, rel.Name(), idx, reason)
+			}
+		}
+	}
+
+	if !da {
+		os.Exit(1)
+	}
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "NO"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "histcheck:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,19 @@
+// Package repro is a full reproduction of William E. Weihl's "The Impact of
+// Recovery on Concurrency Control" (PODS 1989; JCSS 47, 157–184, 1993) as a
+// production-quality Go library.
+//
+// The library implements the paper's event-based transaction model, serial
+// specifications as prefix-closed operation-sequence languages, exact
+// decision procedures for the looks-like and equieffectiveness preorders and
+// the forward/right-backward commutativity relations, the abstract atomic
+// object I(X, Spec, View, Conflict) with the update-in-place (UIP) and
+// deferred-update (DU) recovery abstractions, dynamic-atomicity checkers,
+// and — on the systems side — an executable transaction engine with
+// conflict-relation-driven strict operation locking, an undo-log (WAL)
+// recovery manager realizing UIP, and an intentions-list recovery manager
+// realizing DU.
+//
+// The benchmarks in bench_test.go regenerate every table and figure of the
+// paper; see DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+package repro

@@ -1,0 +1,103 @@
+// Theoremlab: the paper's theorems as an interactive laboratory. The
+// program derives commutativity-violation witnesses from the bank-account
+// specification, machine-builds the counterexample histories of
+// Theorems 9 and 10, replays them through the abstract object automaton
+// I(X, Spec, View, Conflict), and shows the dynamic-atomicity violation the
+// wrong conflict relation permits.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/adt"
+	"repro/internal/atomicity"
+	"repro/internal/core"
+	"repro/internal/history"
+)
+
+func main() {
+	ba := adt.DefaultBankAccount()
+	checker := ba.Checker()
+	specs := atomicity.Specs{"BA": ba.Spec()}
+
+	fmt.Println("=== Theorem 9: update-in-place needs NRBC ⊆ Conflict ===")
+	fmt.Println()
+	// (withdraw-ok, deposit) ∈ NRBC \ NFC: running UIP with the NFC
+	// relation is under-conflicted.
+	p, q := adt.WithdrawOk(2), adt.DepositOk(2)
+	v, ok := checker.RBCViolationWitness(p, q)
+	if !ok {
+		log.Fatal("expected an RBC violation for (withdraw-ok, deposit)")
+	}
+	fmt.Printf("witness: %s\n\n", v)
+	ce := core.BuildUIPCounterexample("BA", v)
+	fmt.Println(ce.Comment)
+	fmt.Println(ce.H)
+	fmt.Println()
+
+	accepted, _, _ := core.Accepts("BA", ba.Spec(), core.UIP, ba.NFC(), ce.H)
+	fmt.Printf("I(BA, Spec, UIP, NFC) accepts it:   %v  (NFC misses the pair)\n", accepted)
+	rejected, idx, reason := core.Accepts("BA", ba.Spec(), core.UIP, ba.NRBC(), ce.H)
+	fmt.Printf("I(BA, Spec, UIP, NRBC) accepts it:  %v  (event %d: %s)\n", rejected, idx, reason)
+	da, viol, err := atomicity.DynamicAtomic(ce.H, specs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dynamic atomic:                     %v", da)
+	if viol != nil {
+		fmt.Printf("  (violating order %v: the withdrawal cannot be serialized before the deposit it consumed)", viol.Order)
+	}
+	fmt.Println()
+	fmt.Println()
+
+	fmt.Println("=== Theorem 10: deferred update needs NFC ⊆ Conflict ===")
+	fmt.Println()
+	// (withdraw-ok, withdraw-ok) ∈ NFC \ NRBC: running DU with the NRBC
+	// relation is under-conflicted.
+	p2, q2 := adt.WithdrawOk(2), adt.WithdrawOk(2)
+	fv, ok := checker.FCViolationWitness(p2, q2)
+	if !ok {
+		log.Fatal("expected an FC violation for (withdraw-ok, withdraw-ok)")
+	}
+	fmt.Printf("witness: %s\n\n", fv)
+	ce2 := core.BuildDUCounterexample("BA", fv)
+	fmt.Println(ce2.Comment)
+	fmt.Println(ce2.H)
+	fmt.Println()
+
+	accepted2, _, _ := core.Accepts("BA", ba.Spec(), core.DU, ba.NRBC(), ce2.H)
+	fmt.Printf("I(BA, Spec, DU, NRBC) accepts it:   %v  (both withdrawals validated against the committed balance)\n", accepted2)
+	rejected2, idx2, reason2 := core.Accepts("BA", ba.Spec(), core.DU, ba.NFC(), ce2.H)
+	fmt.Printf("I(BA, Spec, DU, NFC) accepts it:    %v  (event %d: %s)\n", rejected2, idx2, reason2)
+	da2, viol2, err := atomicity.DynamicAtomic(ce2.H, specs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dynamic atomic:                     %v", da2)
+	if viol2 != nil {
+		fmt.Printf("  (violating order %v: the committed balance cannot fund both withdrawals)", viol2.Order)
+	}
+	fmt.Println()
+	fmt.Println()
+
+	fmt.Println("=== The incomparability, in one place ===")
+	fmt.Println()
+	report := func(label string, pOp, qOp string, nfc, nrbc bool) {
+		fmt.Printf("%-38s NFC:%-6v NRBC:%v\n", label+" ("+pOp+" vs "+qOp+")", nfc, nrbc)
+	}
+	report("concurrent withdrawals", p2.String(), q2.String(),
+		ba.NFC().Conflicts(p2, q2), ba.NRBC().Conflicts(p2, q2))
+	report("withdraw after uncommitted deposit", p.String(), q.String(),
+		ba.NFC().Conflicts(p, q), ba.NRBC().Conflicts(p, q))
+	fmt.Println()
+	fmt.Println("each recovery method forbids a pair the other permits: the constraints")
+	fmt.Println("recovery places on concurrency control are incomparable.")
+
+	// Show that both counterexamples are well-formed histories (sanity).
+	for _, h := range []history.History{ce.H, ce2.H} {
+		if err := history.WellFormed(h); err != nil {
+			log.Fatalf("counterexample malformed: %v", err)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package adt
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/commute"
+	"repro/internal/spec"
+)
+
+// EscrowCounter is a bounded counter with increment and decrement that
+// succeed only while the value stays within [0, Max] — the quantity
+// underlying escrow-style resource accounting (the paper's Section 9
+// points at O'Neil's escrow method as the tightly-coupled descendant of
+// these ideas). Unlike the bank account it is bounded on *both* sides, so
+// successful increments stop commuting near the ceiling exactly as
+// successful decrements stop commuting near the floor; the state space is
+// genuinely finite and all relations are derived exactly.
+type EscrowCounter struct {
+	// Initial is the starting value.
+	Initial int
+	// Max bounds the counter from above (the floor is 0).
+	Max int
+	// Amounts are the increment/decrement amounts in the alphabet.
+	Amounts []int
+}
+
+// DefaultEscrowCounter returns the configuration used in tests:
+// values 0..8 starting at 4, amounts {1, 2}.
+func DefaultEscrowCounter() EscrowCounter {
+	return EscrowCounter{Initial: 4, Max: 8, Amounts: []int{1, 2}}
+}
+
+// Inc builds the inc(i) invocation.
+func Inc(i int) spec.Invocation { return spec.NewInvocation("inc", i) }
+
+// Dec builds the dec(i) invocation.
+func Dec(i int) spec.Invocation { return spec.NewInvocation("dec", i) }
+
+// ReadCtr builds the read invocation.
+func ReadCtr() spec.Invocation { return spec.NewInvocation("read") }
+
+// IncOk is [inc(i), ok].
+func IncOk(i int) spec.Operation { return spec.Op(Inc(i), "ok") }
+
+// IncNo is [inc(i), no].
+func IncNo(i int) spec.Operation { return spec.Op(Inc(i), "no") }
+
+// DecOk is [dec(i), ok].
+func DecOk(i int) spec.Operation { return spec.Op(Dec(i), "ok") }
+
+// DecNo is [dec(i), no].
+func DecNo(i int) spec.Operation { return spec.Op(Dec(i), "no") }
+
+// ReadIsCtr is [read, v].
+func ReadIsCtr(v int) spec.Operation {
+	return spec.Op(ReadCtr(), spec.Response(strconv.Itoa(v)))
+}
+
+// Name implements Type.
+func (EscrowCounter) Name() string { return "escrow-counter" }
+
+// Spec implements Type: an exact finite specification over values 0..Max.
+func (t EscrowCounter) Spec() spec.Enumerable {
+	var ops []spec.Operation
+	for _, i := range t.Amounts {
+		ops = append(ops, IncOk(i), IncNo(i), DecOk(i), DecNo(i))
+	}
+	for v := 0; v <= t.Max; v++ {
+		ops = append(ops, ReadIsCtr(v))
+	}
+	return &spec.FuncSpec{
+		SpecName: t.Name(),
+		Start:    []string{strconv.Itoa(t.Initial)},
+		Ops:      ops,
+		NextFunc: func(state string, op spec.Operation) []string {
+			s, err := strconv.Atoi(state)
+			if err != nil {
+				return nil
+			}
+			switch op.Inv.Name {
+			case "inc":
+				i := mustInt(op.Inv.Args)
+				if op.Res == "ok" {
+					if s+i > t.Max {
+						return nil
+					}
+					return []string{strconv.Itoa(s + i)}
+				}
+				if s+i <= t.Max {
+					return nil
+				}
+				return []string{state}
+			case "dec":
+				i := mustInt(op.Inv.Args)
+				if op.Res == "ok" {
+					if s-i < 0 {
+						return nil
+					}
+					return []string{strconv.Itoa(s - i)}
+				}
+				if s-i >= 0 {
+					return nil
+				}
+				return []string{state}
+			case "read":
+				if string(op.Res) != state {
+					return nil
+				}
+				return []string{state}
+			}
+			return nil
+		},
+	}
+}
+
+// Checker builds a commute.Checker over the exact finite spec.
+func (t EscrowCounter) Checker() *commute.Checker { return commute.NewChecker(t.Spec()) }
+
+// NFC implements Type; derived exactly (the counter's double bound gives
+// conflicts the bank account does not have, e.g. inc-ok vs inc-ok near the
+// ceiling, inc-ok vs dec-no).
+func (t EscrowCounter) NFC() commute.Relation { return t.Checker().NFCRelation() }
+
+// NRBC implements Type; derived exactly.
+func (t EscrowCounter) NRBC() commute.Relation { return t.Checker().NRBCRelation() }
+
+// RW implements Type: read is the read operation.
+func (t EscrowCounter) RW() commute.Relation {
+	return readOnlyRelation(t.Name(), func(op spec.Operation) bool {
+		return op.Inv.Name == "read"
+	})
+}
+
+// Machine implements Type.
+func (t EscrowCounter) Machine() Machine {
+	return ctrMachine{initial: t.Initial, max: t.Max}
+}
+
+// CtrValue is the runtime state of an EscrowCounter.
+type CtrValue int
+
+// Clone implements Value.
+func (v CtrValue) Clone() Value { return v }
+
+// Encode implements Value.
+func (v CtrValue) Encode() string { return strconv.Itoa(int(v)) }
+
+type ctrMachine struct {
+	initial int
+	max     int
+}
+
+func (ctrMachine) Name() string { return "escrow-counter" }
+
+func (m ctrMachine) Init() Value { return CtrValue(m.initial) }
+
+func (m ctrMachine) Apply(v Value, inv spec.Invocation) (spec.Response, Value, error) {
+	c, ok := v.(CtrValue)
+	if !ok {
+		return "", nil, fmt.Errorf("adt: escrow-counter machine applied to %T", v)
+	}
+	switch inv.Name {
+	case "inc":
+		i := mustInt(inv.Args)
+		if int(c)+i > m.max {
+			return "no", c, nil
+		}
+		return "ok", c + CtrValue(i), nil
+	case "dec":
+		i := mustInt(inv.Args)
+		if int(c)-i < 0 {
+			return "no", c, nil
+		}
+		return "ok", c - CtrValue(i), nil
+	case "read":
+		return spec.Response(strconv.Itoa(int(c))), c, nil
+	}
+	return "", nil, fmt.Errorf("adt: escrow-counter: unknown invocation %s", inv)
+}
+
+func (m ctrMachine) Undo(v Value, op spec.Operation) (Value, error) {
+	c, ok := v.(CtrValue)
+	if !ok {
+		return nil, fmt.Errorf("adt: escrow-counter machine applied to %T", v)
+	}
+	if op.Res != "ok" {
+		return c, nil
+	}
+	switch op.Inv.Name {
+	case "inc":
+		return c - CtrValue(mustInt(op.Inv.Args)), nil
+	case "dec":
+		return c + CtrValue(mustInt(op.Inv.Args)), nil
+	case "read":
+		return c, nil
+	}
+	return nil, fmt.Errorf("adt: escrow-counter: cannot undo %s", op)
+}

@@ -1,0 +1,147 @@
+package adt
+
+import (
+	"fmt"
+
+	"repro/internal/commute"
+	"repro/internal/spec"
+)
+
+// Register is a single read/write register — the degenerate type for which
+// classic read/write locking is exactly commutativity-based locking: reads
+// commute with reads and nothing else commutes, under either notion of
+// commutativity, so NFC = NRBC = the R/W conflict relation minus
+// write-follows-identical-read refinements. It anchors the Section 8.1
+// results.
+type Register struct {
+	// Initial is the starting value.
+	Initial string
+	// Domain is the value alphabet of the window specification.
+	Domain []string
+}
+
+// DefaultRegister returns the configuration used in tests:
+// values {0, 1, 2} starting at 0.
+func DefaultRegister() Register {
+	return Register{Initial: "0", Domain: []string{"0", "1", "2"}}
+}
+
+// WriteReg builds the write(v) invocation.
+func WriteReg(v string) spec.Invocation { return spec.NewInvocation("write", v) }
+
+// ReadReg builds the read invocation.
+func ReadReg() spec.Invocation { return spec.NewInvocation("read") }
+
+// WriteOk is [write(v), ok].
+func WriteOk(v string) spec.Operation { return spec.Op(WriteReg(v), "ok") }
+
+// ReadIs is [read, v].
+func ReadIs(v string) spec.Operation { return spec.Op(ReadReg(), spec.Response(v)) }
+
+// Name implements Type.
+func (Register) Name() string { return "register" }
+
+// Spec implements Type: states are the current value.
+func (t Register) Spec() spec.Enumerable {
+	var ops []spec.Operation
+	for _, v := range t.Domain {
+		ops = append(ops, WriteOk(v), ReadIs(v))
+	}
+	return &spec.FuncSpec{
+		SpecName: t.Name(),
+		Start:    []string{t.Initial},
+		Ops:      ops,
+		NextFunc: func(state string, op spec.Operation) []string {
+			switch op.Inv.Name {
+			case "write":
+				return []string{op.Inv.Args}
+			case "read":
+				if string(op.Res) != state {
+					return nil
+				}
+				return []string{state}
+			}
+			return nil
+		},
+	}
+}
+
+// Checker builds a commute.Checker over the exact finite spec.
+func (t Register) Checker() *commute.Checker { return commute.NewChecker(t.Spec()) }
+
+// NFC implements Type; derived exactly from the window specification.
+func (t Register) NFC() commute.Relation { return t.Checker().NFCRelation() }
+
+// NRBC implements Type; derived exactly from the window specification.
+func (t Register) NRBC() commute.Relation { return t.Checker().NRBCRelation() }
+
+// RW implements Type: read is the read operation.
+func (t Register) RW() commute.Relation {
+	return readOnlyRelation(t.Name(), func(op spec.Operation) bool {
+		return op.Inv.Name == "read"
+	})
+}
+
+// Machine implements Type.
+func (t Register) Machine() Machine { return regMachine{initial: t.Initial} }
+
+// RegValue is the runtime state of a Register.
+type RegValue string
+
+// Clone implements Value.
+func (v RegValue) Clone() Value { return v }
+
+// Encode implements Value.
+func (v RegValue) Encode() string { return string(v) }
+
+type regMachine struct{ initial string }
+
+func (regMachine) Name() string { return "register" }
+
+func (m regMachine) Init() Value { return RegValue(m.initial) }
+
+func (m regMachine) Apply(v Value, inv spec.Invocation) (spec.Response, Value, error) {
+	r, ok := v.(RegValue)
+	if !ok {
+		return "", nil, fmt.Errorf("adt: register machine applied to %T", v)
+	}
+	switch inv.Name {
+	case "write":
+		return "ok", RegValue(inv.Args), nil
+	case "read":
+		return spec.Response(r), r, nil
+	}
+	return "", nil, fmt.Errorf("adt: register: unknown invocation %s", inv)
+}
+
+func (m regMachine) Undo(v Value, op spec.Operation) (Value, error) {
+	r, ok := v.(RegValue)
+	if !ok {
+		return nil, fmt.Errorf("adt: register machine applied to %T", v)
+	}
+	if op.Inv.Name == "read" {
+		return r, nil
+	}
+	return nil, fmt.Errorf("adt: register: %s requires before-value undo (use recovery.BeforeValueUndo)", op)
+}
+
+// CaptureBefore implements BeforeImageUndoer: a write's undo restores the
+// overwritten value.
+func (m regMachine) CaptureBefore(v Value, inv spec.Invocation) any {
+	if inv.Name == "write" {
+		return v
+	}
+	return nil
+}
+
+// UndoWithBefore implements BeforeImageUndoer.
+func (m regMachine) UndoWithBefore(v Value, op spec.Operation, before any) (Value, error) {
+	if op.Inv.Name == "read" {
+		return v, nil
+	}
+	prev, ok := before.(RegValue)
+	if !ok {
+		return nil, fmt.Errorf("adt: register: bad before-image %T", before)
+	}
+	return prev, nil
+}

@@ -1,0 +1,178 @@
+package adt
+
+import (
+	"testing"
+
+	"repro/internal/spec"
+)
+
+func setFigureOps(x int, n int) []spec.Operation {
+	return []spec.Operation{
+		InsertAdded(x), InsertDup(x), RemoveRemoved(x), RemoveAbsent(x),
+		MemberTrue(x), MemberFalse(x), SizeIs(n),
+	}
+}
+
+// TestSetAnalyticMatchesDerivedNFC cross-checks the hand-derived NFC
+// relation against the exact checker over the full finite alphabet.
+func TestSetAnalyticMatchesDerivedNFC(t *testing.T) {
+	st := DefaultIntSet()
+	c := st.Checker()
+	analytic := st.NFC()
+	for _, p := range st.Spec().Alphabet() {
+		for _, q := range st.Spec().Alphabet() {
+			derived := !c.CommuteForward(p, q)
+			want := analytic.Conflicts(p, q)
+			if derived != want {
+				t.Errorf("NFC mismatch at (%s,%s): derived=%v, analytic=%v", p, q, derived, want)
+			}
+		}
+	}
+}
+
+// TestSetAnalyticMatchesDerivedNRBC cross-checks the hand-derived NRBC
+// relation against the exact checker.
+func TestSetAnalyticMatchesDerivedNRBC(t *testing.T) {
+	st := DefaultIntSet()
+	c := st.Checker()
+	analytic := st.NRBC()
+	for _, p := range st.Spec().Alphabet() {
+		for _, q := range st.Spec().Alphabet() {
+			derived := !c.RightCommutesBackward(p, q)
+			want := analytic.Conflicts(p, q)
+			if derived != want {
+				t.Errorf("NRBC mismatch at (%s,%s): derived=%v, analytic=%v", p, q, derived, want)
+			}
+		}
+	}
+}
+
+// TestSetIncomparability: the set exhibits the same incomparability as the
+// bank account, with different witnesses.
+func TestSetIncomparability(t *testing.T) {
+	st := DefaultIntSet()
+	nfc, nrbc := st.NFC(), st.NRBC()
+	// Two inserts of the same element that both report "added" cannot both
+	// be serialized — NFC — yet the second can always be pushed backward —
+	// not NRBC (the sequence added·added is simply illegal).
+	if !nfc.Conflicts(InsertAdded(1), InsertAdded(1)) {
+		t.Error("(ins-added, ins-added) should be in NFC")
+	}
+	if nrbc.Conflicts(InsertAdded(1), InsertAdded(1)) {
+		t.Error("(ins-added, ins-added) should not be in NRBC")
+	}
+	// A duplicate-insert after an uncommitted insert-added is fine for DU
+	// (vacuous FC) but not UIP.
+	if nfc.Conflicts(InsertDup(1), InsertAdded(1)) {
+		t.Error("(ins-dup, ins-added) should not be in NFC")
+	}
+	if !nrbc.Conflicts(InsertDup(1), InsertAdded(1)) {
+		t.Error("(ins-dup, ins-added) should be in NRBC")
+	}
+}
+
+// TestSetDistinctElementsIndependent: operations on distinct elements never
+// conflict (except via size).
+func TestSetDistinctElementsIndependent(t *testing.T) {
+	st := DefaultIntSet()
+	nfc, nrbc := st.NFC(), st.NRBC()
+	ops1 := setFigureOps(1, 0)[:6]
+	ops2 := setFigureOps(2, 0)[:6]
+	for _, p := range ops1 {
+		for _, q := range ops2 {
+			if nfc.Conflicts(p, q) {
+				t.Errorf("(%s,%s) on distinct elements should not be in NFC", p, q)
+			}
+			if nrbc.Conflicts(p, q) {
+				t.Errorf("(%s,%s) on distinct elements should not be in NRBC", p, q)
+			}
+		}
+	}
+}
+
+func TestSetMachine(t *testing.T) {
+	m := DefaultIntSet().Machine()
+	v := m.Init()
+	res, v, err := m.Apply(v, Insert(1))
+	if err != nil || res != "added" {
+		t.Fatalf("insert: %v %v", res, err)
+	}
+	res, v, _ = m.Apply(v, Insert(1))
+	if res != "dup" {
+		t.Fatalf("second insert should be dup, got %v", res)
+	}
+	res, v, _ = m.Apply(v, Member(1))
+	if res != "true" {
+		t.Fatalf("member: %v", res)
+	}
+	res, v, _ = m.Apply(v, Size())
+	if res != "1" {
+		t.Fatalf("size: %v", res)
+	}
+	res, v, _ = m.Apply(v, Remove(1))
+	if res != "removed" {
+		t.Fatalf("remove: %v", res)
+	}
+	res, v, _ = m.Apply(v, Remove(1))
+	if res != "absent" {
+		t.Fatalf("second remove should be absent, got %v", res)
+	}
+	if v.Encode() != "{}" {
+		t.Errorf("final state = %s", v.Encode())
+	}
+}
+
+func TestSetMachineUndo(t *testing.T) {
+	m := DefaultIntSet().Machine()
+	v := m.Init()
+	_, v1, _ := m.Apply(v, Insert(2))
+	und, err := m.Undo(v1, InsertAdded(2))
+	if err != nil || und.Encode() != "{}" {
+		t.Fatalf("undo insert-added: %v %v", und, err)
+	}
+	// Undo of a dup insert is a no-op.
+	_, v2, _ := m.Apply(v1, Insert(2))
+	und2, err := m.Undo(v2, InsertDup(2))
+	if err != nil || und2.Encode() != "{2}" {
+		t.Fatalf("undo insert-dup: %v %v", und2, err)
+	}
+	// Undo remove-removed restores the element.
+	_, v3, _ := m.Apply(v1, Remove(2))
+	und3, err := m.Undo(v3, RemoveRemoved(2))
+	if err != nil || und3.Encode() != "{2}" {
+		t.Fatalf("undo remove-removed: %v %v", und3, err)
+	}
+}
+
+// TestSetMachineRefinesSpec: machine executions are legal spec sequences.
+func TestSetMachineRefinesSpec(t *testing.T) {
+	st := DefaultIntSet()
+	m := st.Machine()
+	sp := st.Spec()
+	v := m.Init()
+	var seq spec.Seq
+	script := []spec.Invocation{
+		Insert(1), Insert(2), Insert(1), Member(3), Remove(2), Size(),
+		Remove(2), Member(1), Insert(3), Size(),
+	}
+	for _, inv := range script {
+		res, next, err := m.Apply(v, inv)
+		if err != nil {
+			t.Fatalf("Apply(%s): %v", inv, err)
+		}
+		seq = append(seq, spec.Op(inv, res))
+		if !sp.Legal(seq) {
+			t.Fatalf("machine produced spec-illegal sequence %s", seq)
+		}
+		v = next
+	}
+}
+
+func TestSetValueCloneIndependence(t *testing.T) {
+	v := SetValue{1: true}
+	c := v.Clone().(SetValue)
+	c[2] = true
+	if v[2] {
+		t.Error("Clone shares storage")
+	}
+}

@@ -1,0 +1,333 @@
+package adt
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+// TestQueueOrderSensitivity: enqueues of different elements do not commute
+// in either sense — queue order is observable.
+func TestQueueOrderSensitivity(t *testing.T) {
+	q := DefaultFIFOQueue()
+	c := q.Checker()
+	if c.CommuteForward(EnqOk("a"), EnqOk("b")) {
+		t.Error("enq(a) and enq(b) should not commute forward")
+	}
+	if c.RightCommutesBackward(EnqOk("a"), EnqOk("b")) {
+		t.Error("enq(a) should not right-commute-backward with enq(b)")
+	}
+	// Dequeues of different elements are never co-located; deq is
+	// deterministic given the state.
+	if !c.Deterministic(Deq()) {
+		t.Error("deq should be deterministic")
+	}
+	// enq is total (ok or full), deq is total (elem or empty).
+	if !c.Total(Enq("a")) || !c.Total(Deq()) {
+		t.Error("enq and deq should be total")
+	}
+}
+
+func TestQueueMachine(t *testing.T) {
+	q := DefaultFIFOQueue()
+	m := q.Machine()
+	v := m.Init()
+	for _, x := range []string{"a", "b", "a"} {
+		res, next, err := m.Apply(v, Enq(x))
+		if err != nil || res != "ok" {
+			t.Fatalf("enq(%s): %v %v", x, res, err)
+		}
+		v = next
+	}
+	res, v, _ := m.Apply(v, Enq("b"))
+	if res != "full" {
+		t.Fatalf("fourth enq should be full, got %v", res)
+	}
+	res, v, _ = m.Apply(v, Deq())
+	if res != "a" {
+		t.Fatalf("deq should return a, got %v", res)
+	}
+	res, v, _ = m.Apply(v, Deq())
+	if res != "b" {
+		t.Fatalf("deq should return b, got %v", res)
+	}
+	if v.Encode() != "[a]" {
+		t.Errorf("state = %s, want [a]", v.Encode())
+	}
+}
+
+func TestQueueMachineUndo(t *testing.T) {
+	q := DefaultFIFOQueue()
+	m := q.Machine()
+	v := m.Init()
+	_, v, _ = m.Apply(v, Enq("a"))
+	_, v, _ = m.Apply(v, Enq("b"))
+	// Undo the enq of b.
+	und, err := m.Undo(v, EnqOk("b"))
+	if err != nil || und.Encode() != "[a]" {
+		t.Fatalf("undo enq: %v %v", und, err)
+	}
+	// Undo a deq pushes the element back on the front.
+	res, v2, _ := m.Apply(v, Deq())
+	if res != "a" {
+		t.Fatalf("deq = %v", res)
+	}
+	und2, err := m.Undo(v2, DeqElem("a"))
+	if err != nil || und2.Encode() != "[a;b]" {
+		t.Fatalf("undo deq: %v %v", und2, err)
+	}
+}
+
+func TestQueueMachineRefinesSpec(t *testing.T) {
+	q := DefaultFIFOQueue()
+	m := q.Machine()
+	sp := q.Spec()
+	rng := rand.New(rand.NewSource(3))
+	v := m.Init()
+	var seq spec.Seq
+	for step := 0; step < 40; step++ {
+		var inv spec.Invocation
+		if rng.Intn(2) == 0 {
+			inv = Enq([]string{"a", "b"}[rng.Intn(2)])
+		} else {
+			inv = Deq()
+		}
+		res, next, err := m.Apply(v, inv)
+		if err != nil {
+			t.Fatalf("Apply(%s): %v", inv, err)
+		}
+		seq = append(seq, spec.Op(inv, res))
+		if !sp.Legal(seq) {
+			t.Fatalf("machine produced spec-illegal sequence %s", seq)
+		}
+		v = next
+	}
+}
+
+// TestKVPerKeyConflicts: puts to the same key conflict under both NFC and
+// NRBC; puts to different keys never conflict.
+func TestKVPerKeyConflicts(t *testing.T) {
+	kv := DefaultKVStore()
+	nfc := kv.NFC()
+	nrbc := kv.NRBC()
+	if !nfc.Conflicts(PutOk("x", "0"), PutOk("x", "1")) {
+		t.Error("same-key puts should conflict under NFC")
+	}
+	if !nrbc.Conflicts(PutOk("x", "0"), PutOk("x", "1")) {
+		t.Error("same-key puts should conflict under NRBC")
+	}
+	if nfc.Conflicts(PutOk("x", "0"), PutOk("y", "1")) {
+		t.Error("different-key puts should not conflict under NFC")
+	}
+	if nrbc.Conflicts(PutOk("x", "0"), PutOk("y", "1")) {
+		t.Error("different-key puts should not conflict under NRBC")
+	}
+	// Blind writes: two puts of the SAME value to the same key. Under NFC
+	// they commute (states converge); order still matters for NRBC? The
+	// final state is identical, so they commute backward too.
+	if nfc.Conflicts(PutOk("x", "0"), PutOk("x", "0")) {
+		t.Error("identical puts commute forward (states converge)")
+	}
+	// Gets conflict with same-key puts, not with other keys.
+	if !nfc.Conflicts(GetIs("x", "0"), PutOk("x", "1")) {
+		t.Error("get should conflict with same-key put under NFC")
+	}
+	if nfc.Conflicts(GetIs("x", "0"), PutOk("y", "1")) {
+		t.Error("get should not conflict with other-key put")
+	}
+}
+
+func TestKVMachineAndBeforeImageUndo(t *testing.T) {
+	kv := DefaultKVStore()
+	m := kv.Machine()
+	bi, ok := m.(BeforeImageUndoer)
+	if !ok {
+		t.Fatal("kv machine must support before-image undo")
+	}
+	v := m.Init()
+	res, v1, err := m.Apply(v, Put("x", "1"))
+	if err != nil || res != "ok" {
+		t.Fatalf("put: %v %v", res, err)
+	}
+	// Capture before overwriting, then undo restores the old cell.
+	tok := bi.CaptureBefore(v1, Put("x", "0"))
+	_, v2, _ := m.Apply(v1, Put("x", "0"))
+	und, err := bi.UndoWithBefore(v2, PutOk("x", "0"), tok)
+	if err != nil || und.Encode() != "<x=1>" {
+		t.Fatalf("undo put: %v %v", und, err)
+	}
+	// Undo of a put into an absent key deletes the key.
+	tok2 := bi.CaptureBefore(v, Put("y", "5"))
+	_, v3, _ := m.Apply(v, Put("y", "5"))
+	und2, err := bi.UndoWithBefore(v3, PutOk("y", "5"), tok2)
+	if err != nil || und2.Encode() != "<>" {
+		t.Fatalf("undo put-into-absent: %v %v", und2, err)
+	}
+	// Plain Undo without a before-image must refuse for puts.
+	if _, err := m.Undo(v3, PutOk("y", "5")); err == nil {
+		t.Error("plain Undo of a put should fail")
+	}
+	// Gets are undoable trivially.
+	if _, err := m.Undo(v3, GetIs("y", "5")); err != nil {
+		t.Errorf("undo of get should succeed: %v", err)
+	}
+}
+
+func TestRegisterRelationsCollapse(t *testing.T) {
+	r := DefaultRegister()
+	c := r.Checker()
+	// For a register, writes of different values never commute, reads
+	// always commute, and NFC = NRBC on write pairs of distinct values.
+	if c.CommuteForward(WriteOk("1"), WriteOk("2")) {
+		t.Error("writes should not commute forward")
+	}
+	if c.RightCommutesBackward(WriteOk("1"), WriteOk("2")) {
+		t.Error("writes should not commute backward")
+	}
+	if !c.CommuteForward(ReadIs("1"), ReadIs("1")) {
+		t.Error("reads should commute forward")
+	}
+	if !c.RightCommutesBackward(ReadIs("1"), ReadIs("1")) {
+		t.Error("reads should commute backward")
+	}
+	// Identical writes converge: FC holds.
+	if !c.CommuteForward(WriteOk("1"), WriteOk("1")) {
+		t.Error("identical writes converge and commute forward")
+	}
+}
+
+func TestRegisterMachineBeforeImage(t *testing.T) {
+	r := DefaultRegister()
+	m := r.Machine()
+	bi := m.(BeforeImageUndoer)
+	v := m.Init()
+	tok := bi.CaptureBefore(v, WriteReg("2"))
+	_, v1, _ := m.Apply(v, WriteReg("2"))
+	und, err := bi.UndoWithBefore(v1, WriteOk("2"), tok)
+	if err != nil || und.Encode() != "0" {
+		t.Fatalf("undo write: %v %v", und, err)
+	}
+}
+
+// TestPoolPartialNondeterministic: alloc is partial and nondeterministic in
+// the spec; the machine refines it deterministically.
+func TestPoolPartialNondeterministic(t *testing.T) {
+	p := DefaultResourcePool()
+	c := p.Checker()
+	if c.Total(Alloc()) {
+		t.Error("alloc should be partial (empty pool has no response)")
+	}
+	if c.Deterministic(Alloc()) {
+		t.Error("alloc should be nondeterministic")
+	}
+	if !c.Total(Avail()) || !c.Deterministic(Avail()) {
+		t.Error("avail should be total and deterministic")
+	}
+}
+
+func TestPoolMachine(t *testing.T) {
+	p := DefaultResourcePool()
+	m := p.Machine()
+	v := m.Init()
+	res, v, err := m.Apply(v, Alloc())
+	if err != nil || res != "1" {
+		t.Fatalf("alloc: %v %v (machine picks lowest)", res, err)
+	}
+	res, v, _ = m.Apply(v, Avail())
+	if res != "2" {
+		t.Fatalf("avail: %v", res)
+	}
+	_, v, _ = m.Apply(v, Alloc())
+	_, v, _ = m.Apply(v, Alloc())
+	_, _, err = m.Apply(v, Alloc())
+	if !errors.Is(err, ErrNotEnabled) {
+		t.Fatalf("alloc on empty pool should be ErrNotEnabled, got %v", err)
+	}
+	res, v, err = m.Apply(v, Release(2))
+	if err != nil || res != "ok" {
+		t.Fatalf("release: %v %v", res, err)
+	}
+	if _, _, err := m.Apply(v, Release(2)); err == nil {
+		t.Error("double release should fail")
+	}
+}
+
+func TestPoolMachineUndo(t *testing.T) {
+	p := DefaultResourcePool()
+	m := p.Machine()
+	v := m.Init()
+	res, v1, _ := m.Apply(v, Alloc())
+	und, err := m.Undo(v1, AllocGot(mustInt(string(res))))
+	if err != nil || und.Encode() != "free{1,2,3}" {
+		t.Fatalf("undo alloc: %v %v", und, err)
+	}
+	_, v2, _ := m.Apply(v1, Release(1))
+	und2, err := m.Undo(v2, ReleaseOk(1))
+	if err != nil || und2.Encode() != "free{2,3}" {
+		t.Fatalf("undo release: %v %v", und2, err)
+	}
+}
+
+// TestPoolMachineRefinesSpec: the machine's lowest-first allocation is a
+// legal refinement of the nondeterministic spec.
+func TestPoolMachineRefinesSpec(t *testing.T) {
+	p := DefaultResourcePool()
+	m := p.Machine()
+	sp := p.Spec()
+	v := m.Init()
+	var seq spec.Seq
+	script := []spec.Invocation{Alloc(), Alloc(), Avail(), Release(1), Alloc(), Avail()}
+	for _, inv := range script {
+		res, next, err := m.Apply(v, inv)
+		if err != nil {
+			t.Fatalf("Apply(%s): %v", inv, err)
+		}
+		seq = append(seq, spec.Op(inv, res))
+		if !sp.Legal(seq) {
+			t.Fatalf("machine produced spec-illegal sequence %s", seq)
+		}
+		v = next
+	}
+}
+
+// TestAllTypesRWContainsDerived: Lemmas 11–12 instantiated per type — each
+// type's RW relation contains the derived NFC and NRBC over the window
+// alphabet.
+func TestAllTypesRWContainsDerived(t *testing.T) {
+	types := []Type{
+		DefaultBankAccount(), DefaultIntSet(), DefaultFIFOQueue(),
+		DefaultKVStore(), DefaultRegister(), DefaultResourcePool(),
+	}
+	for _, ty := range types {
+		sp := ty.Spec()
+		rw := ty.RW()
+		nfc := ty.NFC()
+		nrbc := ty.NRBC()
+		for _, p := range sp.Alphabet() {
+			for _, q := range sp.Alphabet() {
+				if nfc.Conflicts(p, q) && !rw.Conflicts(p, q) {
+					t.Errorf("%s: RW misses NFC pair (%s,%s)", ty.Name(), p, q)
+				}
+				if nrbc.Conflicts(p, q) && !rw.Conflicts(p, q) {
+					t.Errorf("%s: RW misses NRBC pair (%s,%s)", ty.Name(), p, q)
+				}
+			}
+		}
+	}
+}
+
+// TestValueEncodeStability: Encode is canonical — applying Clone does not
+// change the encoding.
+func TestValueEncodeStability(t *testing.T) {
+	vals := []Value{
+		BAValue(7), SetValue{2: true, 1: true}, QueueValue{"a", "b"},
+		KVValue{"x": "1"}, RegValue("2"), PoolValue{1: true, 3: true},
+	}
+	for _, v := range vals {
+		if v.Clone().Encode() != v.Encode() {
+			t.Errorf("Clone changes encoding for %T", v)
+		}
+	}
+}

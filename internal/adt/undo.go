@@ -1,0 +1,19 @@
+package adt
+
+import "repro/internal/spec"
+
+// BeforeImageUndoer is implemented by machines whose operations cannot be
+// undone from the operation alone (e.g. a key-value put overwrites the old
+// value). The recovery managers capture a token before applying such an
+// invocation and hand it back on undo. The token must describe only the
+// state the operation overwrites (a key's cell, a register's value) — not a
+// whole-object snapshot — so that undo composes with concurrent updates to
+// unrelated parts of the state, exactly as the concurrency-control theory
+// requires.
+type BeforeImageUndoer interface {
+	// CaptureBefore returns the token needed to undo inv applied to v.
+	// It may return nil for read-only invocations.
+	CaptureBefore(v Value, inv spec.Invocation) any
+	// UndoWithBefore reverses op on v using the captured token.
+	UndoWithBefore(v Value, op spec.Operation, before any) (Value, error)
+}

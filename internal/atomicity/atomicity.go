@@ -1,0 +1,356 @@
+// Package atomicity implements the correctness notions of Weihl,
+// "The Impact of Recovery on Concurrency Control" (JCSS 47, 1993),
+// Section 3: acceptability of serial failure-free histories,
+// serializability, atomicity, dynamic atomicity, and online dynamic
+// atomicity (Section 7). These checkers are the oracle against which both
+// the abstract object model (internal/core) and the executable transaction
+// engine (internal/txn) are validated.
+package atomicity
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+// Specs maps each object to its serial specification.
+type Specs map[history.ObjectID]spec.Spec
+
+// Acceptable reports whether a serial failure-free history is acceptable:
+// for every object X, Opseq(H|X) is legal according to Spec(X)
+// (paper, Section 3.3). Objects without a registered spec are an error:
+// silently accepting them would mask configuration bugs in tests.
+func Acceptable(h history.History, specs Specs) (bool, error) {
+	for _, x := range h.Objects() {
+		s, ok := specs[x]
+		if !ok {
+			return false, fmt.Errorf("atomicity: no spec registered for object %q", x)
+		}
+		if !s.Legal(history.Opseq(h.ProjectObj(x))) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// SerializableIn reports whether h is serializable in the given total
+// order: Serial(h, order) must be acceptable. The order must contain every
+// transaction appearing in h.
+func SerializableIn(h history.History, order []history.TxnID, specs Specs) (bool, error) {
+	inOrder := make(map[history.TxnID]bool, len(order))
+	for _, t := range order {
+		inOrder[t] = true
+	}
+	for _, t := range h.Txns() {
+		if !inOrder[t] {
+			return false, fmt.Errorf("atomicity: order omits transaction %q", t)
+		}
+	}
+	return Acceptable(history.Serial(h, order), specs)
+}
+
+// Serializable reports whether some total order of h's transactions makes h
+// serializable, returning a witness order. It enumerates permutations and
+// is therefore intended for small histories (tests, theorem validation).
+func Serializable(h history.History, specs Specs) ([]history.TxnID, bool, error) {
+	txns := h.Txns()
+	var witness []history.TxnID
+	var firstErr error
+	found := permute(txns, func(order []history.TxnID) bool {
+		ok, err := SerializableIn(h, order, specs)
+		if err != nil {
+			firstErr = err
+			return true // stop
+		}
+		if ok {
+			witness = append([]history.TxnID(nil), order...)
+			return true
+		}
+		return false
+	})
+	if firstErr != nil {
+		return nil, false, firstErr
+	}
+	if !found || witness == nil {
+		return nil, false, nil
+	}
+	return witness, true, nil
+}
+
+// Atomic reports whether h is atomic: permanent(h) is serializable
+// (paper, Section 3.3).
+func Atomic(h history.History, specs Specs) (bool, error) {
+	_, ok, err := Serializable(h.Permanent(), specs)
+	return ok, err
+}
+
+// Violation describes a failed dynamic-atomicity check: the total order
+// (consistent with precedes) in which the permanent history is not
+// serializable, and, for online checks, the commit set used.
+type Violation struct {
+	Order     []history.TxnID
+	CommitSet []history.TxnID
+}
+
+// String implements fmt.Stringer.
+func (v *Violation) String() string {
+	s := fmt.Sprintf("not serializable in order %v", v.Order)
+	if v.CommitSet != nil {
+		s += fmt.Sprintf(" (commit set %v)", v.CommitSet)
+	}
+	return s
+}
+
+// DynamicAtomic reports whether h is dynamic atomic: permanent(h) is
+// serializable in every total order of its committed transactions
+// consistent with precedes(h) (paper, Section 3.4). On failure it returns
+// a witness violation.
+func DynamicAtomic(h history.History, specs Specs) (bool, *Violation, error) {
+	perm := h.Permanent()
+	txns := perm.Txns()
+	prec := restrict(history.Precedes(h), txns)
+	var viol *Violation
+	var firstErr error
+	bad := linearExtensions(txns, prec, func(order []history.TxnID) bool {
+		ok, err := SerializableIn(perm, order, specs)
+		if err != nil {
+			firstErr = err
+			return true
+		}
+		if !ok {
+			viol = &Violation{Order: append([]history.TxnID(nil), order...)}
+			return true
+		}
+		return false
+	})
+	if firstErr != nil {
+		return false, nil, firstErr
+	}
+	if bad && viol != nil {
+		return false, viol, nil
+	}
+	return true, nil, nil
+}
+
+// OnlineDynamicAtomic reports whether h is online dynamic atomic
+// (paper, Section 7): for every commit set CS for h — a set containing all
+// committed transactions, none of the aborted ones, and any subset of the
+// active ones — H|CS is serializable in every total order consistent with
+// precedes(H|CS). Online dynamic atomicity implies dynamic atomicity.
+func OnlineDynamicAtomic(h history.History, specs Specs) (bool, *Violation, error) {
+	committed := h.Committed()
+	active := h.Active()
+	base := make([]history.TxnID, 0, len(committed))
+	for _, t := range h.Txns() {
+		if committed[t] {
+			base = append(base, t)
+		}
+	}
+	// Enumerate subsets of active transactions.
+	n := len(active)
+	if n > 20 {
+		return false, nil, fmt.Errorf("atomicity: %d active transactions is too many for exhaustive commit-set enumeration", n)
+	}
+	for mask := 0; mask < 1<<n; mask++ {
+		cs := append([]history.TxnID(nil), base...)
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				cs = append(cs, active[i])
+			}
+		}
+		csSet := make(map[history.TxnID]bool, len(cs))
+		for _, t := range cs {
+			csSet[t] = true
+		}
+		sub := h.ProjectTxns(csSet)
+		txns := sub.Txns()
+		prec := restrict(history.Precedes(sub), txns)
+		var viol *Violation
+		var firstErr error
+		bad := linearExtensions(txns, prec, func(order []history.TxnID) bool {
+			ok, err := SerializableIn(sub, order, specs)
+			if err != nil {
+				firstErr = err
+				return true
+			}
+			if !ok {
+				viol = &Violation{
+					Order:     append([]history.TxnID(nil), order...),
+					CommitSet: cs,
+				}
+				return true
+			}
+			return false
+		})
+		if firstErr != nil {
+			return false, nil, firstErr
+		}
+		if bad && viol != nil {
+			return false, viol, nil
+		}
+	}
+	return true, nil, nil
+}
+
+// DynamicAtomicSampled is a scalable, sound-but-incomplete variant of
+// DynamicAtomic for large histories: it checks the commit order plus
+// maxOrders random linear extensions of precedes(h). A false result is a
+// definite violation; a true result means no violation was found in the
+// sample.
+func DynamicAtomicSampled(h history.History, specs Specs, maxOrders int, rng *rand.Rand) (bool, *Violation, error) {
+	perm := h.Permanent()
+	txns := perm.Txns()
+	prec := restrict(history.Precedes(h), txns)
+
+	commitOrder := history.CommitOrder(h)
+	ok, err := SerializableIn(perm, commitOrder, specs)
+	if err != nil {
+		return false, nil, err
+	}
+	if !ok {
+		return false, &Violation{Order: commitOrder}, nil
+	}
+	for i := 0; i < maxOrders; i++ {
+		order, ok := randomLinearExtension(txns, prec, rng)
+		if !ok {
+			break
+		}
+		good, err := SerializableIn(perm, order, specs)
+		if err != nil {
+			return false, nil, err
+		}
+		if !good {
+			return false, &Violation{Order: order}, nil
+		}
+	}
+	return true, nil, nil
+}
+
+// restrict keeps only the pairs of prec whose endpoints are both in txns.
+func restrict(prec map[history.TxnID]map[history.TxnID]bool, txns []history.TxnID) map[history.TxnID]map[history.TxnID]bool {
+	keep := make(map[history.TxnID]bool, len(txns))
+	for _, t := range txns {
+		keep[t] = true
+	}
+	out := make(map[history.TxnID]map[history.TxnID]bool)
+	for a, bs := range prec {
+		if !keep[a] {
+			continue
+		}
+		for b := range bs {
+			if !keep[b] {
+				continue
+			}
+			m := out[a]
+			if m == nil {
+				m = make(map[history.TxnID]bool)
+				out[a] = m
+			}
+			m[b] = true
+		}
+	}
+	return out
+}
+
+// permute calls visit with each permutation of xs until visit returns true;
+// it reports whether visit stopped the enumeration.
+func permute(xs []history.TxnID, visit func([]history.TxnID) bool) bool {
+	buf := append([]history.TxnID(nil), xs...)
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == len(buf) {
+			return visit(buf)
+		}
+		for i := k; i < len(buf); i++ {
+			buf[k], buf[i] = buf[i], buf[k]
+			if rec(k + 1) {
+				return true
+			}
+			buf[k], buf[i] = buf[i], buf[k]
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// linearExtensions enumerates every total order of txns consistent with
+// prec (a DAG given as a → {b: a before b}), calling visit for each until
+// visit returns true; it reports whether visit stopped the enumeration.
+func linearExtensions(txns []history.TxnID, prec map[history.TxnID]map[history.TxnID]bool, visit func([]history.TxnID) bool) bool {
+	indeg := make(map[history.TxnID]int, len(txns))
+	for _, t := range txns {
+		indeg[t] = 0
+	}
+	for _, bs := range prec {
+		for b := range bs {
+			indeg[b]++
+		}
+	}
+	order := make([]history.TxnID, 0, len(txns))
+	used := make(map[history.TxnID]bool, len(txns))
+	var rec func() bool
+	rec = func() bool {
+		if len(order) == len(txns) {
+			return visit(order)
+		}
+		for _, t := range txns {
+			if used[t] || indeg[t] != 0 {
+				continue
+			}
+			used[t] = true
+			order = append(order, t)
+			for b := range prec[t] {
+				indeg[b]--
+			}
+			if rec() {
+				return true
+			}
+			for b := range prec[t] {
+				indeg[b]++
+			}
+			order = order[:len(order)-1]
+			used[t] = false
+		}
+		return false
+	}
+	return rec()
+}
+
+// randomLinearExtension draws one uniform-ish random linear extension of
+// prec over txns. It reports false if prec is cyclic over txns.
+func randomLinearExtension(txns []history.TxnID, prec map[history.TxnID]map[history.TxnID]bool, rng *rand.Rand) ([]history.TxnID, bool) {
+	indeg := make(map[history.TxnID]int, len(txns))
+	for _, t := range txns {
+		indeg[t] = 0
+	}
+	for _, bs := range prec {
+		for b := range bs {
+			indeg[b]++
+		}
+	}
+	remaining := append([]history.TxnID(nil), txns...)
+	sort.Slice(remaining, func(i, j int) bool { return remaining[i] < remaining[j] })
+	var order []history.TxnID
+	for len(remaining) > 0 {
+		var ready []int
+		for i, t := range remaining {
+			if indeg[t] == 0 {
+				ready = append(ready, i)
+			}
+		}
+		if len(ready) == 0 {
+			return nil, false
+		}
+		pick := ready[rng.Intn(len(ready))]
+		t := remaining[pick]
+		order = append(order, t)
+		remaining = append(remaining[:pick], remaining[pick+1:]...)
+		for b := range prec[t] {
+			indeg[b]--
+		}
+	}
+	return order, true
+}

@@ -1,0 +1,249 @@
+package atomicity
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/history"
+)
+
+const bankX = history.ObjectID("BA")
+
+func baSpecs() Specs {
+	return Specs{bankX: adt.DefaultBankAccount().Spec()}
+}
+
+// paperHistory is the atomic history at the end of Section 3.3.
+func paperHistory() history.History {
+	return history.NewBuilder().
+		Invoke(bankX, "A", adt.Deposit(3)).Respond(bankX, "A", "ok").
+		Invoke(bankX, "B", adt.Withdraw(2)).Respond(bankX, "B", "ok").
+		Invoke(bankX, "A", adt.Balance()).Respond(bankX, "A", "3").
+		Invoke(bankX, "B", adt.Balance()).
+		Commit(bankX, "A").
+		Respond(bankX, "B", "1").
+		Commit(bankX, "B").
+		Invoke(bankX, "C", adt.Withdraw(2)).Respond(bankX, "C", "no").
+		Commit(bankX, "C").
+		History()
+}
+
+// variantHistory moves B's last response before A's commit, which the paper
+// (Section 3.4) says destroys dynamic atomicity.
+func variantHistory() history.History {
+	return history.NewBuilder().
+		Invoke(bankX, "A", adt.Deposit(3)).Respond(bankX, "A", "ok").
+		Invoke(bankX, "B", adt.Withdraw(2)).Respond(bankX, "B", "ok").
+		Invoke(bankX, "A", adt.Balance()).Respond(bankX, "A", "3").
+		Invoke(bankX, "B", adt.Balance()).Respond(bankX, "B", "1").
+		Commit(bankX, "A").
+		Commit(bankX, "B").
+		Invoke(bankX, "C", adt.Withdraw(2)).Respond(bankX, "C", "no").
+		Commit(bankX, "C").
+		History()
+}
+
+func TestAcceptable(t *testing.T) {
+	serial := history.NewBuilder().
+		Invoke(bankX, "A", adt.Deposit(5)).Respond(bankX, "A", "ok").
+		Invoke(bankX, "A", adt.Withdraw(3)).Respond(bankX, "A", "ok").
+		Commit(bankX, "A").
+		History()
+	ok, err := Acceptable(serial, baSpecs())
+	if err != nil || !ok {
+		t.Fatalf("Acceptable = %v, %v", ok, err)
+	}
+	bad := history.NewBuilder().
+		Invoke(bankX, "A", adt.Withdraw(3)).Respond(bankX, "A", "ok").
+		Commit(bankX, "A").
+		History()
+	ok, err = Acceptable(bad, baSpecs())
+	if err != nil || ok {
+		t.Fatalf("overdraft from empty account should be unacceptable; got %v, %v", ok, err)
+	}
+}
+
+func TestAcceptableMissingSpec(t *testing.T) {
+	h := history.NewBuilder().
+		Invoke("unknown", "A", adt.Deposit(1)).Respond("unknown", "A", "ok").
+		History()
+	if _, err := Acceptable(h, baSpecs()); err == nil {
+		t.Error("missing spec should be an error")
+	}
+}
+
+func TestPaperHistoryAtomicAndDynamicAtomic(t *testing.T) {
+	h := paperHistory()
+	ok, err := Atomic(h, baSpecs())
+	if err != nil || !ok {
+		t.Fatalf("paper history should be atomic: %v, %v", ok, err)
+	}
+	da, viol, err := DynamicAtomic(h, baSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !da {
+		t.Fatalf("paper history should be dynamic atomic; violation: %v", viol)
+	}
+	oda, viol, err := OnlineDynamicAtomic(h, baSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oda {
+		t.Fatalf("paper history should be online dynamic atomic; violation: %v", viol)
+	}
+}
+
+// TestVariantNotDynamicAtomic reproduces the paper's Section 3.4
+// observation: with B's last response before A's commit, (A,B) leaves
+// precedes(H), order B-A-C becomes admissible, and the history is not
+// serializable in that order — dynamic atomicity fails even though the
+// history is still atomic.
+func TestVariantNotDynamicAtomic(t *testing.T) {
+	h := variantHistory()
+	ok, err := Atomic(h, baSpecs())
+	if err != nil || !ok {
+		t.Fatalf("variant should still be atomic: %v, %v", ok, err)
+	}
+	da, viol, err := DynamicAtomic(h, baSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if da {
+		t.Fatal("variant should not be dynamic atomic")
+	}
+	if viol == nil || len(viol.Order) != 3 {
+		t.Fatalf("violation = %v", viol)
+	}
+	if viol.Order[0] != "B" || viol.Order[1] != "A" {
+		t.Errorf("expected B-A-C as the violating order, got %v", viol.Order)
+	}
+}
+
+func TestSerializableIn(t *testing.T) {
+	h := paperHistory()
+	ok, err := SerializableIn(h, []history.TxnID{"A", "B", "C"}, baSpecs())
+	if err != nil || !ok {
+		t.Fatalf("A-B-C should serialize: %v, %v", ok, err)
+	}
+	ok, err = SerializableIn(h, []history.TxnID{"B", "A", "C"}, baSpecs())
+	if err != nil || ok {
+		t.Fatalf("B-A-C should not serialize: %v, %v", ok, err)
+	}
+	if _, err := SerializableIn(h, []history.TxnID{"A", "B"}, baSpecs()); err == nil {
+		t.Error("missing transaction in order should error")
+	}
+}
+
+func TestSerializableWitness(t *testing.T) {
+	h := paperHistory()
+	order, ok, err := Serializable(h, baSpecs())
+	if err != nil || !ok {
+		t.Fatalf("Serializable = %v, %v", ok, err)
+	}
+	good, err := SerializableIn(h, order, baSpecs())
+	if err != nil || !good {
+		t.Fatalf("returned witness %v does not serialize", order)
+	}
+}
+
+func TestAtomicIgnoresUncommitted(t *testing.T) {
+	// An active transaction has observed an uncommitted overdraft-enabling
+	// deposit — but permanent(H) contains only A, so H is atomic.
+	h := history.NewBuilder().
+		Invoke(bankX, "A", adt.Deposit(1)).Respond(bankX, "A", "ok").
+		Commit(bankX, "A").
+		Invoke(bankX, "B", adt.Withdraw(5)).Respond(bankX, "B", "ok").
+		History()
+	ok, err := Atomic(h, baSpecs())
+	if err != nil || !ok {
+		t.Fatalf("uncommitted junk must be ignored: %v, %v", ok, err)
+	}
+}
+
+// TestOnlineStricterThanDynamic: online dynamic atomicity quantifies over
+// commit sets, so a history whose active transaction could never commit
+// consistently is caught online even though it is dynamic atomic.
+func TestOnlineStricterThanDynamic(t *testing.T) {
+	h := history.NewBuilder().
+		Invoke(bankX, "A", adt.Deposit(1)).Respond(bankX, "A", "ok").
+		Commit(bankX, "A").
+		Invoke(bankX, "B", adt.Withdraw(5)).Respond(bankX, "B", "ok").
+		History()
+	da, _, err := DynamicAtomic(h, baSpecs())
+	if err != nil || !da {
+		t.Fatalf("dynamic atomic should hold (B uncommitted): %v", err)
+	}
+	oda, viol, err := OnlineDynamicAtomic(h, baSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oda {
+		t.Fatal("online dynamic atomicity should fail: B might commit")
+	}
+	if viol == nil || len(viol.CommitSet) != 2 {
+		t.Errorf("violation = %v", viol)
+	}
+}
+
+func TestDynamicAtomicSampled(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ok, _, err := DynamicAtomicSampled(paperHistory(), baSpecs(), 20, rng)
+	if err != nil || !ok {
+		t.Fatalf("sampled check should pass on the paper history: %v", err)
+	}
+	bad, viol, err := DynamicAtomicSampled(variantHistory(), baSpecs(), 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad {
+		t.Fatal("sampled check should find the B-A-C violation")
+	}
+	if viol == nil {
+		t.Error("expected a violation witness")
+	}
+}
+
+// TestMultiObjectAtomicity exercises serializability across two objects:
+// each object is locally consistent with a different order, so no global
+// order exists — the classic non-serializable cross.
+func TestMultiObjectAtomicity(t *testing.T) {
+	x := history.ObjectID("X")
+	y := history.ObjectID("Y")
+	reg := adt.DefaultRegister()
+	specs := Specs{x: reg.Spec(), y: reg.Spec()}
+	// A writes 1 to X then reads Y=0 (before B's write); B writes 1 to Y
+	// then reads X=0 (before A's write). No serial order satisfies both.
+	h := history.NewBuilder().
+		Invoke(x, "A", adt.WriteReg("1")).Respond(x, "A", "ok").
+		Invoke(y, "B", adt.WriteReg("1")).Respond(y, "B", "ok").
+		Invoke(y, "A", adt.ReadReg()).Respond(y, "A", "0").
+		Invoke(x, "B", adt.ReadReg()).Respond(x, "B", "0").
+		Commit(x, "A").Commit(y, "A").
+		Commit(x, "B").Commit(y, "B").
+		History()
+	if err := history.WellFormed(h); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := Atomic(h, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("write-skew cross should not be atomic")
+	}
+	// Flip B's read to see the committed value: now A-B serializes.
+	h2 := history.NewBuilder().
+		Invoke(x, "A", adt.WriteReg("1")).Respond(x, "A", "ok").
+		Invoke(y, "B", adt.WriteReg("1")).Respond(y, "B", "ok").
+		Invoke(y, "A", adt.ReadReg()).Respond(y, "A", "0").
+		Invoke(x, "B", adt.ReadReg()).Respond(x, "B", "1").
+		Commit(x, "A").Commit(y, "A").
+		Commit(x, "B").Commit(y, "B").
+		History()
+	ok2, err := Atomic(h2, specs)
+	if err != nil || !ok2 {
+		t.Fatalf("A-B order should serialize: %v, %v", ok2, err)
+	}
+}

@@ -1,0 +1,57 @@
+package commute
+
+import "repro/internal/spec"
+
+// Materialize evaluates rel over ops × ops into an immutable map-backed
+// relation that is safe for concurrent use. Checker-derived relations
+// memoize lazily in unsynchronized maps and therefore must be materialized
+// before being shared across goroutines (e.g. as an engine's conflict
+// relation).
+//
+// Pairs involving an operation outside ops fall back to conflicting — a
+// safe over-approximation: spurious conflicts cost concurrency, never
+// correctness.
+func Materialize(rel Relation, ops []spec.Operation) Relation {
+	inAlpha := make(map[spec.Operation]bool, len(ops))
+	for _, op := range ops {
+		inAlpha[op] = true
+	}
+	table := make(map[[2]spec.Operation]bool, len(ops)*len(ops))
+	for _, p := range ops {
+		for _, q := range ops {
+			table[[2]spec.Operation{p, q}] = rel.Conflicts(p, q)
+		}
+	}
+	return RelationFunc{
+		RelName: rel.Name(),
+		F: func(p, q spec.Operation) bool {
+			if !inAlpha[p] || !inAlpha[q] {
+				return true
+			}
+			return table[[2]spec.Operation{p, q}]
+		},
+	}
+}
+
+// MaterializeInvocations is Materialize for invocation relations.
+func MaterializeInvocations(rel InvocationRelation, invs []spec.Invocation) InvocationRelation {
+	inAlpha := make(map[spec.Invocation]bool, len(invs))
+	for _, inv := range invs {
+		inAlpha[inv] = true
+	}
+	table := make(map[[2]spec.Invocation]bool, len(invs)*len(invs))
+	for _, i := range invs {
+		for _, j := range invs {
+			table[[2]spec.Invocation{i, j}] = rel.Conflicts(i, j)
+		}
+	}
+	return InvocationRelationFunc{
+		RelName: rel.Name(),
+		F: func(i, j spec.Invocation) bool {
+			if !inAlpha[i] || !inAlpha[j] {
+				return true
+			}
+			return table[[2]spec.Invocation{i, j}]
+		},
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/commute"
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+// Counterexample packages a machine-built history witnessing that an
+// I(X, Spec, View, Conflict) instance is incorrect: the history is accepted
+// by the automaton yet is not dynamic atomic. These reproduce the
+// constructions in the only-if directions of Theorems 9 and 10.
+type Counterexample struct {
+	Object  history.ObjectID
+	View    View
+	H       history.History
+	Comment string
+}
+
+// BuildUIPCounterexample constructs the Theorem 9 history for a pair
+// (P, Q) ∈ NRBC(Spec) with (P, Q) ∉ Conflict, from the violation witness:
+//
+//	A executes α and commits; B executes Q; C executes P;
+//	B commits; C commits; D executes ρ and commits.
+//
+// The history is accepted by I(X, Spec, UIP, Conflict) because C's response
+// only requires (P, Q) ∉ Conflict and the UIP view α·Q·P is legal; it is not
+// dynamic atomic because B and C are unordered by precedes yet the order
+// A-C-B-D yields α·P·Q·ρ ∉ Spec.
+func BuildUIPCounterexample(x history.ObjectID, v *commute.RBCViolation) *Counterexample {
+	b := history.NewBuilder()
+	if len(v.Alpha) > 0 {
+		b.ExecSeq(x, "A", v.Alpha).Commit(x, "A")
+	}
+	b.Exec(x, "B", v.Q)
+	b.Exec(x, "C", v.P)
+	b.Commit(x, "B").Commit(x, "C")
+	if len(v.Rho) > 0 {
+		b.ExecSeq(x, "D", v.Rho).Commit(x, "D")
+	}
+	return &Counterexample{
+		Object: x,
+		View:   UIP,
+		H:      b.History(),
+		Comment: fmt.Sprintf("Theorem 9 only-if: (P,Q)=(%s,%s) ∈ NRBC, α=%s, ρ=%s",
+			v.P, v.Q, v.Alpha, v.Rho),
+	}
+}
+
+// BuildDUCounterexample constructs the Theorem 10 history for a pair
+// (P, Q) ∈ NFC(Spec) with (P, Q) ∉ Conflict, from the violation witness.
+//
+// Case 1 (α·P·Q ∉ Spec):
+//
+//	A executes α and commits; B executes Q; C executes P; both commit.
+//	Serialization A-C-B yields α·P·Q ∉ Spec.
+//
+// Case 2 (orders distinguished by ρ, with α·L1·L2·ρ ∈ Spec and
+// α·L2·L1·ρ ∉ Spec):
+//
+//	A executes α and commits; B executes Q; C executes P;
+//	the executor of L1 commits first, then the other; D executes ρ and
+//	commits. D's DU view is α·L1·L2·ρ (legal), but the serialization
+//	placing L2's executor before L1's yields α·L2·L1·ρ ∉ Spec.
+//
+// In both cases P is executed second, so acceptance needs only
+// (P, Q) ∉ Conflict.
+func BuildDUCounterexample(x history.ObjectID, v *commute.FCViolation) *Counterexample {
+	b := history.NewBuilder()
+	if len(v.Alpha) > 0 {
+		b.ExecSeq(x, "A", v.Alpha).Commit(x, "A")
+	}
+	// B executes Q first, C executes P second: C's response precondition
+	// checks Conflict(P, Q), which is absent by hypothesis.
+	b.Exec(x, "B", v.Q)
+	b.Exec(x, "C", v.P)
+	comment := ""
+	if v.PQIllegal {
+		b.Commit(x, "B").Commit(x, "C")
+		comment = fmt.Sprintf("Theorem 10 only-if case 1: (P,Q)=(%s,%s) ∈ NFC, α=%s, α·P·Q ∉ Spec",
+			v.P, v.Q, v.Alpha)
+	} else {
+		// Commit the executor of LegalFirst first so D's deferred-update
+		// view replays the legal order.
+		execOf := map[spec.Operation]history.TxnID{v.Q: "B", v.P: "C"}
+		first := execOf[v.LegalFirst]
+		second := execOf[v.LegalSecond]
+		b.Commit(x, first).Commit(x, second)
+		b.ExecSeq(x, "D", v.Rho).Commit(x, "D")
+		comment = fmt.Sprintf("Theorem 10 only-if case 2: (P,Q)=(%s,%s) ∈ NFC, α=%s, legal order %s·%s, ρ=%s",
+			v.P, v.Q, v.Alpha, v.LegalFirst, v.LegalSecond, v.Rho)
+	}
+	return &Counterexample{Object: x, View: DU, H: b.History(), Comment: comment}
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/atomicity"
+	"repro/internal/commute"
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+// NewCheckerForTest builds a plain commute.Checker (exported for the
+// theorem sweep test; the checker lives in another package).
+func NewCheckerForTest(e spec.Enumerable) *commute.Checker {
+	return commute.NewChecker(e)
+}
+
+func emptyRelation() commute.Relation {
+	return commute.RelationFunc{RelName: "none", F: func(p, q spec.Operation) bool { return false }}
+}
+
+// checkAllODA explores the automaton and verifies every reachable history
+// is online dynamic atomic. Returns the number of histories explored.
+func checkAllODA(t *testing.T, sp spec.Enumerable, v View, conflict commute.Relation, cfgTxns []history.TxnID, maxEvents int, allowAbort bool) int {
+	t.Helper()
+	specs := atomicity.Specs{"X": sp}
+	count, err := Explore(ExploreConfig{
+		Object:       "X",
+		Spec:         sp,
+		View:         v,
+		Conflict:     conflict,
+		Txns:         cfgTxns,
+		MaxEvents:    maxEvents,
+		MaxOpsPerTxn: 2,
+		AllowAbort:   allowAbort,
+	}, func(h history.History) error {
+		// Only histories ending in a response or commit can newly violate
+		// dynamic atomicity; checking there keeps the sweep affordable.
+		last := h[len(h)-1]
+		if last.Kind != history.Respond && last.Kind != history.Commit {
+			return nil
+		}
+		oda, viol, err := atomicity.OnlineDynamicAtomic(h, specs)
+		if err != nil {
+			return err
+		}
+		if !oda {
+			t.Fatalf("reachable history not online dynamic atomic (%v):\n%s", viol, h)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return count
+}
+
+// findViolation explores and reports whether some reachable history is NOT
+// online dynamic atomic.
+func findViolation(t *testing.T, sp spec.Enumerable, v View, conflict commute.Relation, cfgTxns []history.TxnID, maxEvents int) bool {
+	t.Helper()
+	specs := atomicity.Specs{"X": sp}
+	found := false
+	_, err := Explore(ExploreConfig{
+		Object:       "X",
+		Spec:         sp,
+		View:         v,
+		Conflict:     conflict,
+		Txns:         cfgTxns,
+		MaxEvents:    maxEvents,
+		MaxOpsPerTxn: 2,
+	}, func(h history.History) error {
+		last := h[len(h)-1]
+		if last.Kind != history.Respond && last.Kind != history.Commit {
+			return nil
+		}
+		oda, _, err := atomicity.OnlineDynamicAtomic(h, specs)
+		if err != nil {
+			return err
+		}
+		if !oda {
+			found = true
+			return errStop
+		}
+		return nil
+	})
+	if err != nil && err != errStop {
+		t.Fatal(err)
+	}
+	return found
+}
+
+var errStop = &stopError{}
+
+type stopError struct{}
+
+func (*stopError) Error() string { return "stop exploration" }
+
+// TestTheorem9IfDirectionExhaustive validates the if direction of
+// Theorem 9 by bounded exhaustive exploration: with NRBC ⊆ Conflict, every
+// reachable history of I(X, Spec, UIP, Conflict) is online dynamic atomic.
+// Specs: the two partial mini-specs and the Table I automaton.
+// exploreBudget gives per-spec exploration bounds: three transactions for
+// the small partial specs, two for the larger nondeterministic alphabet.
+func exploreBudget(sp spec.Enumerable) ([]history.TxnID, int) {
+	if len(sp.Alphabet()) > 2 {
+		return []history.TxnID{"A", "B"}, 8
+	}
+	return []history.TxnID{"A", "B", "C"}, 7
+}
+
+func TestTheorem9IfDirectionExhaustive(t *testing.T) {
+	for _, sp := range []spec.Enumerable{adt.PartialSpecA(), adt.PartialSpecB(), adt.NondetSpecC()} {
+		c := commute.NewChecker(sp)
+		txns, maxEvents := exploreBudget(sp)
+		n := checkAllODA(t, sp, UIP, c.NRBCRelation(), txns, maxEvents, true)
+		if n == 0 {
+			t.Fatalf("%s: exploration visited nothing", sp.Name())
+		}
+		t.Logf("%s: %d histories explored under UIP/NRBC", sp.Name(), n)
+	}
+}
+
+// TestTheorem10IfDirectionExhaustive mirrors the if direction of
+// Theorem 10: with NFC ⊆ Conflict, every reachable history of
+// I(X, Spec, DU, Conflict) is online dynamic atomic.
+func TestTheorem10IfDirectionExhaustive(t *testing.T) {
+	for _, sp := range []spec.Enumerable{adt.PartialSpecA(), adt.PartialSpecB(), adt.NondetSpecC()} {
+		c := commute.NewChecker(sp)
+		txns, maxEvents := exploreBudget(sp)
+		n := checkAllODA(t, sp, DU, c.NFCRelation(), txns, maxEvents, true)
+		if n == 0 {
+			t.Fatalf("%s: exploration visited nothing", sp.Name())
+		}
+		t.Logf("%s: %d histories explored under DU/NFC", sp.Name(), n)
+	}
+}
+
+// TestTheorem9OnlyIfByExploration independently rediscovers the only-if
+// direction: on PartialSpecB, UIP with an empty conflict relation reaches a
+// non-dynamic-atomic history (the checker's witness is not consulted).
+func TestTheorem9OnlyIfByExploration(t *testing.T) {
+	sp := adt.PartialSpecB()
+	if !findViolation(t, sp, UIP, emptyRelation(), []history.TxnID{"A", "B"}, 8) {
+		t.Fatal("exploration should find a UIP violation with no conflicts")
+	}
+	// And with the full NRBC relation no violation exists within the bound.
+	c := commute.NewChecker(sp)
+	if findViolation(t, sp, UIP, c.NRBCRelation(), []history.TxnID{"A", "B"}, 8) {
+		t.Fatal("no violation should exist under NRBC")
+	}
+}
+
+// TestTheorem10OnlyIfByExploration mirrors the DU case: on PartialSpecB,
+// the NRBC relation is NOT sufficient for DU (it misses the NFC pairs
+// ([I,Q],[I,Q]) and ([J,R],[J,R])), and exploration finds a violation.
+func TestTheorem10OnlyIfByExploration(t *testing.T) {
+	sp := adt.PartialSpecB()
+	c := commute.NewChecker(sp)
+	// Precondition: NRBC does not contain NFC here.
+	if c.NRBCRelation().Conflicts(adt.OpJR, adt.OpJR) {
+		t.Fatal("([J,R],[J,R]) should not be in NRBC for this spec")
+	}
+	if !c.NFCRelation().Conflicts(adt.OpJR, adt.OpJR) {
+		t.Fatal("([J,R],[J,R]) should be in NFC for this spec")
+	}
+	if !findViolation(t, sp, DU, c.NRBCRelation(), []history.TxnID{"A", "B"}, 8) {
+		t.Fatal("exploration should find a DU violation under NRBC")
+	}
+	if findViolation(t, sp, DU, c.NFCRelation(), []history.TxnID{"A", "B"}, 8) {
+		t.Fatal("no violation should exist under NFC")
+	}
+}
+
+// TestUIPvsDUDivergenceOnBankAccount demonstrates the incomparability
+// dynamically on a small bank-account window: UIP/NRBC accepts a
+// concurrent-withdrawal history that DU/NFC forbids, and DU/NFC accepts a
+// withdraw-after-uncommitted-deposit history that UIP/NRBC forbids.
+func TestUIPvsDUDivergenceOnBankAccount(t *testing.T) {
+	ba := adt.DefaultBankAccount()
+	sp := ba.Spec()
+
+	// History 1: A deposits 4 and commits; B and C each withdraw 2
+	// concurrently.
+	h1 := history.NewBuilder().
+		Invoke(bankX, "A", adt.Deposit(4)).Respond(bankX, "A", "ok").
+		Commit(bankX, "A").
+		Invoke(bankX, "B", adt.Withdraw(2)).Respond(bankX, "B", "ok").
+		Invoke(bankX, "C", adt.Withdraw(2)).Respond(bankX, "C", "ok").
+		Commit(bankX, "B").Commit(bankX, "C").
+		History()
+	if ok, idx, reason := Accepts(bankX, sp, UIP, ba.NRBC(), h1); !ok {
+		t.Fatalf("UIP/NRBC must accept concurrent withdrawals: event %d: %s", idx, reason)
+	}
+	if ok, _, _ := Accepts(bankX, sp, DU, ba.NFC(), h1); ok {
+		t.Fatal("DU/NFC must reject concurrent withdrawals")
+	}
+
+	// History 2: A deposits 2 (uncommitted); B withdraws 2 reading through
+	// the deposit; then both commit, B first.
+	h2 := history.NewBuilder().
+		Invoke(bankX, "A", adt.Deposit(2)).Respond(bankX, "A", "ok").
+		Invoke(bankX, "B", adt.Withdraw(2)).Respond(bankX, "B", "ok").
+		Commit(bankX, "B").Commit(bankX, "A").
+		History()
+	if ok, _, _ := Accepts(bankX, sp, UIP, ba.NRBC(), h2); ok {
+		t.Fatal("UIP/NRBC must reject withdrawal against uncommitted deposit")
+	}
+	// Note: DU would compute B's view as the committed state (0), so the
+	// "ok" response is not even legal under DU — the two methods disagree
+	// about the response itself, not just the conflict.
+	if ok, _, _ := Accepts(bankX, sp, DU, ba.NFC(), h2); ok {
+		t.Fatal("DU/NFC rejects h2 too: B's view is the committed balance 0")
+	}
+	// The DU-side acceptance divergence: with a committed balance of 5, B's
+	// withdrawal validates against the committed state while A's uncommitted
+	// deposit is in flight — (wok, dep) ∉ NFC, so DU/NFC accepts; under
+	// UIP/NRBC the same pair conflicts, so the automaton rejects.
+	h3 := history.NewBuilder().
+		Invoke(bankX, "Z", adt.Deposit(5)).Respond(bankX, "Z", "ok").
+		Commit(bankX, "Z").
+		Invoke(bankX, "A", adt.Deposit(2)).Respond(bankX, "A", "ok").
+		Invoke(bankX, "B", adt.Withdraw(2)).Respond(bankX, "B", "ok").
+		Commit(bankX, "B").Commit(bankX, "A").
+		History()
+	if ok, idx, reason := Accepts(bankX, sp, DU, ba.NFC(), h3); !ok {
+		t.Fatalf("DU/NFC must accept the withdrawal against the committed balance: event %d: %s", idx, reason)
+	}
+	if ok, _, _ := Accepts(bankX, sp, UIP, ba.NRBC(), h3); ok {
+		t.Fatal("UIP/NRBC must reject: the requested withdrawal conflicts with the held deposit")
+	}
+}
+
+// TestExploreCountsAndBounds sanity-checks the explorer's bounding logic.
+func TestExploreCountsAndBounds(t *testing.T) {
+	sp := adt.PartialSpecA()
+	c := commute.NewChecker(sp)
+	var maxLen int
+	count, err := Explore(ExploreConfig{
+		Object:       "X",
+		Spec:         sp,
+		View:         UIP,
+		Conflict:     c.NRBCRelation(),
+		Txns:         []history.TxnID{"A", "B"},
+		MaxEvents:    5,
+		MaxOpsPerTxn: 1,
+	}, func(h history.History) error {
+		if len(h) > maxLen {
+			maxLen = len(h)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count == 0 {
+		t.Fatal("exploration visited nothing")
+	}
+	if maxLen > 5 {
+		t.Fatalf("explorer exceeded MaxEvents: %d", maxLen)
+	}
+	if _, err := Explore(ExploreConfig{Spec: sp, View: UIP, Conflict: c.NRBCRelation()}, nil); err == nil {
+		t.Error("MaxEvents=0 should be an error")
+	}
+}

@@ -1,0 +1,149 @@
+package histfile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/atomicity"
+	"repro/internal/history"
+)
+
+const sample = `
+# Theorem 9 counterexample shape
+object BA bank-account
+
+invoke BA B deposit(2)
+respond BA B ok
+invoke BA C withdraw(2)
+respond BA C ok
+commit BA B
+commit BA C
+`
+
+func TestParseSample(t *testing.T) {
+	f, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.H) != 6 {
+		t.Fatalf("events = %d, want 6", len(f.H))
+	}
+	if _, ok := f.Specs["BA"]; !ok {
+		t.Fatal("spec for BA missing")
+	}
+	if err := history.WellFormed(f.H); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := atomicity.Atomic(f.H, f.Specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("sample should be atomic (B-C order works)")
+	}
+	da, _, err := atomicity.DynamicAtomic(f.H, f.Specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if da {
+		t.Error("sample should not be dynamic atomic (C-B order fails)")
+	}
+}
+
+func TestParseInvocation(t *testing.T) {
+	cases := []struct {
+		in      string
+		name    string
+		args    string
+		wantErr bool
+	}{
+		{"balance", "balance", "", false},
+		{"deposit(3)", "deposit", "3", false},
+		{"put(k,v)", "put", "k,v", false},
+		{"bad(", "", "", true},
+		{"(3)", "", "", true},
+		{"a)b", "", "", true},
+	}
+	for _, c := range cases {
+		inv, err := ParseInvocation(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseInvocation(%q) should fail", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseInvocation(%q): %v", c.in, err)
+			continue
+		}
+		if inv.Name != c.name || inv.Args != c.args {
+			t.Errorf("ParseInvocation(%q) = %v", c.in, inv)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"object BA",                       // missing type
+		"object BA no-such-type",          // unknown type
+		"invoke BA A",                     // missing invocation
+		"respond BA A",                    // missing response
+		"commit BA",                       // missing txn
+		"warble BA A",                     // unknown statement
+		"invoke BA A deposit(1)",          // undeclared object
+		"object X bank-account\nfrob X A", // unknown statement after decl
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c)); err == nil {
+			t.Errorf("Parse(%q) should fail", c)
+		}
+	}
+}
+
+func TestCommentsAndBlanks(t *testing.T) {
+	in := "# only comments\n\n   \n# more\n"
+	f, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.H) != 0 {
+		t.Errorf("events = %d, want 0", len(f.H))
+	}
+}
+
+func TestRenderRoundTrip(t *testing.T) {
+	f, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Render(&buf, f, map[history.ObjectID]string{"BA": "bank-account"}); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, buf.String())
+	}
+	if len(f2.H) != len(f.H) {
+		t.Fatalf("round trip changed event count: %d vs %d", len(f2.H), len(f.H))
+	}
+	for i := range f.H {
+		a, b := f.H[i], f2.H[i]
+		if a.Kind != b.Kind || a.Obj != b.Obj || a.Txn != b.Txn || a.Inv != b.Inv || a.Res != b.Res {
+			t.Errorf("event %d changed: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestTypeByName(t *testing.T) {
+	for _, name := range []string{"bank-account", "int-set", "fifo-queue", "kv-store", "register", "resource-pool"} {
+		ty, ok := TypeByName(name)
+		if !ok || ty.Name() != name {
+			t.Errorf("TypeByName(%q) = %v, %v", name, ty, ok)
+		}
+	}
+	if _, ok := TypeByName("nope"); ok {
+		t.Error("unknown type should not resolve")
+	}
+}

@@ -1,0 +1,301 @@
+package history
+
+import (
+	"testing"
+
+	"repro/internal/spec"
+)
+
+const bankX = ObjectID("BA")
+
+func dep(i int) spec.Invocation  { return spec.NewInvocation("deposit", i) }
+func wdr(i int) spec.Invocation  { return spec.NewInvocation("withdraw", i) }
+func bal() spec.Invocation       { return spec.NewInvocation("balance") }
+func ok() spec.Response          { return "ok" }
+func res(s string) spec.Response { return spec.Response(s) }
+
+// paperHistory builds the atomic history at the end of Section 3.3.
+func paperHistory() History {
+	return NewBuilder().
+		Invoke(bankX, "A", dep(3)).Respond(bankX, "A", ok()).
+		Invoke(bankX, "B", wdr(2)).Respond(bankX, "B", ok()).
+		Invoke(bankX, "A", bal()).Respond(bankX, "A", res("3")).
+		Invoke(bankX, "B", bal()).
+		Commit(bankX, "A").
+		Respond(bankX, "B", res("1")).
+		Commit(bankX, "B").
+		Invoke(bankX, "C", wdr(2)).Respond(bankX, "C", res("no")).
+		Commit(bankX, "C").
+		History()
+}
+
+func TestWellFormedAcceptsPaperHistory(t *testing.T) {
+	if err := WellFormed(paperHistory()); err != nil {
+		t.Fatalf("paper history should be well-formed: %v", err)
+	}
+}
+
+func TestWellFormedViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		h    History
+	}{
+		{"double invoke", NewBuilder().
+			Invoke(bankX, "A", dep(1)).Invoke(bankX, "A", dep(2)).History()},
+		{"response without invocation", NewBuilder().
+			Respond(bankX, "A", ok()).History()},
+		{"response from wrong object", History{
+			{Kind: Invoke, Obj: "X", Txn: "A", Inv: dep(1)},
+			{Kind: Respond, Obj: "Y", Txn: "A", Res: ok()},
+		}},
+		{"commit while pending", NewBuilder().
+			Invoke(bankX, "A", dep(1)).Commit(bankX, "A").History()},
+		{"invoke after commit", NewBuilder().
+			Exec(bankX, "A", spec.Op(dep(1), ok())).Commit(bankX, "A").
+			Invoke(bankX, "A", dep(2)).History()},
+		{"invoke after abort", NewBuilder().
+			Exec(bankX, "A", spec.Op(dep(1), ok())).Abort(bankX, "A").
+			Invoke(bankX, "A", dep(2)).History()},
+		{"commit after abort", NewBuilder().
+			Exec(bankX, "A", spec.Op(dep(1), ok())).Abort(bankX, "A").
+			Commit(bankX, "A").History()},
+		{"abort after commit", NewBuilder().
+			Exec(bankX, "A", spec.Op(dep(1), ok())).Commit(bankX, "A").
+			Abort(bankX, "A").History()},
+		{"duplicate commit same object", NewBuilder().
+			Exec(bankX, "A", spec.Op(dep(1), ok())).
+			Commit(bankX, "A").Commit(bankX, "A").History()},
+	}
+	for _, c := range cases {
+		if err := WellFormed(c.h); err == nil {
+			t.Errorf("%s: expected well-formedness violation", c.name)
+		}
+	}
+}
+
+func TestWellFormedMultiObjectCommit(t *testing.T) {
+	// Committing at two different objects is legal (atomic commitment).
+	h := NewBuilder().
+		Exec("X", "A", spec.Op(dep(1), ok())).
+		Exec("Y", "A", spec.Op(dep(2), ok())).
+		Commit("X", "A").Commit("Y", "A").
+		History()
+	if err := WellFormed(h); err != nil {
+		t.Fatalf("multi-object commit should be well-formed: %v", err)
+	}
+}
+
+func TestOpseq(t *testing.T) {
+	h := paperHistory()
+	ops := Opseq(h)
+	want := spec.Seq{
+		spec.Op(dep(3), "ok"),
+		spec.Op(wdr(2), "ok"),
+		spec.Op(bal(), "3"),
+		spec.Op(bal(), "1"),
+		spec.Op(wdr(2), "no"),
+	}
+	if len(ops) != len(want) {
+		t.Fatalf("Opseq length = %d, want %d\n%v", len(ops), len(want), ops)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("Opseq[%d] = %v, want %v", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestOpseqIgnoresPendingInvocations(t *testing.T) {
+	h := NewBuilder().Invoke(bankX, "A", dep(1)).History()
+	if got := Opseq(h); len(got) != 0 {
+		t.Errorf("Opseq with pending invocation = %v, want empty", got)
+	}
+}
+
+func TestProjections(t *testing.T) {
+	h := paperHistory()
+	ha := h.ProjectTxn("A")
+	for _, e := range ha {
+		if e.Txn != "A" {
+			t.Fatalf("ProjectTxn leaked event %v", e)
+		}
+	}
+	if len(ha) != 5 {
+		t.Errorf("len(H|A) = %d, want 5", len(ha))
+	}
+	if got := len(h.ProjectObj(bankX)); got != len(h) {
+		t.Errorf("ProjectObj(BA) dropped events: %d of %d", got, len(h))
+	}
+	if got := h.ProjectObj("other"); len(got) != 0 {
+		t.Errorf("ProjectObj(other) = %v", got)
+	}
+}
+
+func TestCommittedAbortedActive(t *testing.T) {
+	h := NewBuilder().
+		Exec(bankX, "A", spec.Op(dep(1), ok())).Commit(bankX, "A").
+		Exec(bankX, "B", spec.Op(dep(2), ok())).Abort(bankX, "B").
+		Exec(bankX, "C", spec.Op(dep(3), ok())).
+		History()
+	if !h.Committed()["A"] || h.Committed()["B"] || h.Committed()["C"] {
+		t.Errorf("Committed = %v", h.Committed())
+	}
+	if !h.Aborted()["B"] || h.Aborted()["A"] {
+		t.Errorf("Aborted = %v", h.Aborted())
+	}
+	act := h.Active()
+	if len(act) != 1 || act[0] != "C" {
+		t.Errorf("Active = %v, want [C]", act)
+	}
+	perm := h.Permanent()
+	for _, e := range perm {
+		if e.Txn != "A" {
+			t.Errorf("Permanent contains %v", e)
+		}
+	}
+}
+
+func TestPendingInvocation(t *testing.T) {
+	h := NewBuilder().Invoke(bankX, "A", dep(5)).History()
+	inv, pending := h.PendingInvocation("A")
+	if !pending || inv != dep(5) {
+		t.Errorf("PendingInvocation = %v, %v", inv, pending)
+	}
+	h2 := append(h, Event{Kind: Respond, Obj: bankX, Txn: "A", Res: ok()})
+	if _, pending := h2.PendingInvocation("A"); pending {
+		t.Error("invocation should not be pending after response")
+	}
+	if _, pending := h.PendingInvocation("B"); pending {
+		t.Error("B never invoked")
+	}
+}
+
+func TestPrecedes(t *testing.T) {
+	h := paperHistory()
+	prec := Precedes(h)
+	// B's balance responds after A commits; C's withdraw responds after B
+	// commits (and after A commits).
+	if !prec["A"]["B"] {
+		t.Error("expected (A,B) ∈ precedes")
+	}
+	if !prec["B"]["C"] {
+		t.Error("expected (B,C) ∈ precedes")
+	}
+	if !prec["A"]["C"] {
+		t.Error("expected (A,C) ∈ precedes")
+	}
+	if prec["B"]["A"] || prec["C"]["A"] || prec["C"]["B"] {
+		t.Errorf("unexpected precedes pairs: %v", prec)
+	}
+}
+
+// TestPrecedesLemma1 verifies Lemma 1: precedes(H|X) ⊆ precedes(H) on a
+// multi-object history.
+func TestPrecedesLemma1(t *testing.T) {
+	h := NewBuilder().
+		Exec("X", "A", spec.Op(dep(1), ok())).
+		Commit("X", "A").
+		Exec("Y", "B", spec.Op(dep(2), ok())).
+		Exec("X", "B", spec.Op(dep(3), ok())).
+		Commit("Y", "B").Commit("X", "B").
+		History()
+	whole := Precedes(h)
+	for _, x := range h.Objects() {
+		local := Precedes(h.ProjectObj(x))
+		for a, bs := range local {
+			for b := range bs {
+				if !whole[a][b] {
+					t.Errorf("Lemma 1 violated at %s: (%s,%s) local but not global", x, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestSerial(t *testing.T) {
+	h := paperHistory()
+	s := Serial(h, []TxnID{"A", "B", "C"})
+	if len(s) != len(h) {
+		t.Fatalf("Serial length = %d, want %d", len(s), len(h))
+	}
+	// Serial histories are not interleaved.
+	if !SerialFailureFree(s) {
+		t.Error("Serial result should be serial failure-free")
+	}
+	// Omitting a transaction omits its events.
+	s2 := Serial(h, []TxnID{"A", "C"})
+	for _, e := range s2 {
+		if e.Txn == "B" {
+			t.Errorf("Serial with [A C] contains B event %v", e)
+		}
+	}
+}
+
+func TestSerialFailureFree(t *testing.T) {
+	interleaved := NewBuilder().
+		Invoke(bankX, "A", dep(1)).Respond(bankX, "A", ok()).
+		Invoke(bankX, "B", dep(2)).Respond(bankX, "B", ok()).
+		Invoke(bankX, "A", dep(3)).Respond(bankX, "A", ok()).
+		History()
+	if SerialFailureFree(interleaved) {
+		t.Error("interleaved history should not be serial")
+	}
+	aborting := NewBuilder().
+		Exec(bankX, "A", spec.Op(dep(1), ok())).Abort(bankX, "A").
+		History()
+	if SerialFailureFree(aborting) {
+		t.Error("aborting history should not be failure-free")
+	}
+	// The paper history interleaves A and B, so it is not serial — but its
+	// serialization in commit order is.
+	if SerialFailureFree(paperHistory()) {
+		t.Error("paper history interleaves transactions; not serial")
+	}
+	if !SerialFailureFree(Serial(paperHistory(), []TxnID{"A", "B", "C"})) {
+		t.Error("serialized paper history should be serial failure-free")
+	}
+}
+
+func TestCommitOrder(t *testing.T) {
+	h := paperHistory()
+	got := CommitOrder(h)
+	want := []TxnID{"A", "B", "C"}
+	if len(got) != len(want) {
+		t.Fatalf("CommitOrder = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("CommitOrder[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTxnsAndObjectsOrder(t *testing.T) {
+	h := paperHistory()
+	txns := h.Txns()
+	if len(txns) != 3 || txns[0] != "A" || txns[1] != "B" || txns[2] != "C" {
+		t.Errorf("Txns = %v", txns)
+	}
+	objs := h.Objects()
+	if len(objs) != 1 || objs[0] != bankX {
+		t.Errorf("Objects = %v", objs)
+	}
+}
+
+func TestAppendDoesNotAlias(t *testing.T) {
+	h := NewBuilder().Invoke(bankX, "A", dep(1)).History()
+	h2 := h.Append(Event{Kind: Respond, Obj: bankX, Txn: "A", Res: ok()})
+	h3 := h.Append(Event{Kind: Respond, Obj: bankX, Txn: "A", Res: res("no")})
+	if h2[1].Res != ok() || h3[1].Res != res("no") {
+		t.Error("Append results alias each other")
+	}
+}
+
+func TestMustWellFormedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustWellFormed should panic on malformed history")
+		}
+	}()
+	MustWellFormed(NewBuilder().Respond(bankX, "A", ok()).History())
+}

@@ -1,0 +1,214 @@
+package history
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/spec"
+)
+
+// randomWellFormed generates a random well-formed history over nTxns
+// transactions and nObjs objects, driving the same state machine WellFormed
+// checks — so its output is well-formed by construction and exercises every
+// event kind.
+func randomWellFormed(rng *rand.Rand, nTxns, nObjs, steps int) History {
+	type st struct {
+		pending    bool
+		pendingObj ObjectID
+		done       bool
+	}
+	states := make([]st, nTxns)
+	var h History
+	txn := func(i int) TxnID { return TxnID(rune('A' + i)) }
+	obj := func(i int) ObjectID { return ObjectID(rune('X' + i)) }
+	for s := 0; s < steps; s++ {
+		i := rng.Intn(nTxns)
+		t := &states[i]
+		if t.done {
+			continue
+		}
+		switch {
+		case t.pending:
+			h = append(h, Event{Kind: Respond, Obj: t.pendingObj, Txn: txn(i), Res: "ok"})
+			t.pending = false
+		case rng.Intn(4) == 0 && len(h.ProjectTxn(txn(i))) > 0:
+			kind := Commit
+			if rng.Intn(2) == 0 {
+				kind = Abort
+			}
+			h = append(h, Event{Kind: kind, Obj: obj(rng.Intn(nObjs)), Txn: txn(i)})
+			t.done = true
+		default:
+			o := obj(rng.Intn(nObjs))
+			h = append(h, Event{Kind: Invoke, Obj: o, Txn: txn(i), Inv: spec.NewInvocation("op", s)})
+			t.pending = true
+			t.pendingObj = o
+		}
+	}
+	return h
+}
+
+// TestRandomHistoriesWellFormed: the generator's output always passes
+// WellFormed, and so does every prefix (well-formedness is prefix-closed).
+func TestRandomHistoriesWellFormed(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := randomWellFormed(rng, 1+rng.Intn(4), 1+rng.Intn(3), 30)
+		if WellFormed(h) != nil {
+			return false
+		}
+		for i := range h {
+			if WellFormed(h[:i]) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOpseqCountsResponses: |Opseq(H)| equals the number of response events
+// with a matching pending invocation.
+func TestOpseqCountsResponses(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := randomWellFormed(rng, 3, 2, 40)
+		responses := 0
+		for _, e := range h {
+			if e.Kind == Respond {
+				responses++
+			}
+		}
+		return len(Opseq(h)) == responses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPrecedesIsAcyclic: precedes(H) of a well-formed history is a partial
+// order — in particular it has no cycles.
+func TestPrecedesIsAcyclic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := randomWellFormed(rng, 4, 2, 50)
+		prec := Precedes(h)
+		// DFS cycle check.
+		const (
+			unseen = 0
+			onPath = 1
+			done   = 2
+		)
+		color := make(map[TxnID]int)
+		var dfs func(t TxnID) bool // true if cycle
+		dfs = func(x TxnID) bool {
+			color[x] = onPath
+			for y := range prec[x] {
+				switch color[y] {
+				case onPath:
+					return true
+				case unseen:
+					if dfs(y) {
+						return true
+					}
+				}
+			}
+			color[x] = done
+			return false
+		}
+		for a := range prec {
+			if color[a] == unseen && dfs(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestProjectionPartition: every event of H appears in exactly one
+// transaction projection and exactly one object projection.
+func TestProjectionPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := randomWellFormed(rng, 4, 3, 40)
+		total := 0
+		for _, a := range h.Txns() {
+			total += len(h.ProjectTxn(a))
+		}
+		if total != len(h) {
+			return false
+		}
+		total = 0
+		for _, x := range h.Objects() {
+			total += len(h.ProjectObj(x))
+		}
+		return total == len(h)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSerialPreservesPerTxnSubsequences: Serial(H, T) is equivalent to H —
+// every transaction performs the same steps (H|A is preserved exactly).
+func TestSerialPreservesPerTxnSubsequences(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := randomWellFormed(rng, 4, 2, 40)
+		order := h.Txns()
+		// Shuffle the order.
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		s := Serial(h, order)
+		if len(s) != len(h) {
+			return false
+		}
+		for _, a := range order {
+			ha, sa := h.ProjectTxn(a), s.ProjectTxn(a)
+			if len(ha) != len(sa) {
+				return false
+			}
+			for i := range ha {
+				if ha[i] != sa[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPermanentContainsOnlyCommitted: permanent(H) holds exactly the events
+// of committed transactions.
+func TestPermanentContainsOnlyCommitted(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := randomWellFormed(rng, 5, 2, 50)
+		perm := h.Permanent()
+		committed := h.Committed()
+		for _, e := range perm {
+			if !committed[e.Txn] {
+				return false
+			}
+		}
+		// Count check: all committed events survive.
+		want := 0
+		for _, e := range h {
+			if committed[e.Txn] {
+				want++
+			}
+		}
+		return len(perm) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

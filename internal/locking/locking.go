@@ -1,0 +1,182 @@
+// Package locking implements conflict-based operation locking for the
+// transaction engine: per-object lock tables driven by an arbitrary
+// (possibly asymmetric) conflict relation on operations, plus a global
+// waits-for deadlock detector.
+//
+// The paper's locking model (Section 4) is implicit: the locks held by a
+// transaction are exactly the operations it has executed, and a new
+// operation may execute only if it does not conflict with any operation
+// held by another active transaction. Locks are released en masse at commit
+// or abort — strict two-phase locking at operation granularity.
+package locking
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/commute"
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+// Table tracks the operation locks held at one object under a conflict
+// relation. Table is not itself synchronized: the owning object serializes
+// access (the engine holds the object latch around every call).
+type Table struct {
+	rel  commute.Relation
+	held map[history.TxnID][]spec.Operation
+}
+
+// NewTable builds an empty lock table for the relation.
+func NewTable(rel commute.Relation) *Table {
+	return &Table{rel: rel, held: make(map[history.TxnID][]spec.Operation)}
+}
+
+// Relation returns the table's conflict relation.
+func (t *Table) Relation() commute.Relation { return t.rel }
+
+// Conflicting returns the transactions (other than self) holding an
+// operation that the requested operation conflicts with, in sorted order.
+// The requested operation is the first argument of the relation, matching
+// the precondition of Section 4: (requested, held) ∈ Conflict blocks.
+func (t *Table) Conflicting(requested spec.Operation, self history.TxnID) []history.TxnID {
+	var out []history.TxnID
+	for txn, ops := range t.held {
+		if txn == self {
+			continue
+		}
+		for _, held := range ops {
+			if t.rel.Conflicts(requested, held) {
+				out = append(out, txn)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Add records that txn now holds op.
+func (t *Table) Add(txn history.TxnID, op spec.Operation) {
+	t.held[txn] = append(t.held[txn], op)
+}
+
+// Release drops every lock held by txn, returning the released operations.
+func (t *Table) Release(txn history.TxnID) []spec.Operation {
+	ops := t.held[txn]
+	delete(t.held, txn)
+	return ops
+}
+
+// Held returns the operations txn currently holds (nil if none).
+func (t *Table) Held(txn history.TxnID) []spec.Operation { return t.held[txn] }
+
+// Holders returns all transactions currently holding locks, sorted.
+func (t *Table) Holders() []history.TxnID {
+	out := make([]history.TxnID, 0, len(t.held))
+	for txn := range t.held {
+		out = append(out, txn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ErrDeadlock is returned (wrapped) when granting a wait would close a
+// cycle in the waits-for graph; the requester is chosen as the victim.
+type ErrDeadlock struct {
+	Victim history.TxnID
+	Cycle  []history.TxnID
+}
+
+// Error implements error.
+func (e *ErrDeadlock) Error() string {
+	return fmt.Sprintf("locking: deadlock: victim %s, cycle %v", e.Victim, e.Cycle)
+}
+
+// Detector is a global waits-for deadlock detector shared by all objects of
+// an engine. It is safe for concurrent use.
+type Detector struct {
+	mu    sync.Mutex
+	waits map[history.TxnID]map[history.TxnID]bool
+}
+
+// NewDetector builds an empty detector.
+func NewDetector() *Detector {
+	return &Detector{waits: make(map[history.TxnID]map[history.TxnID]bool)}
+}
+
+// AddWaits records that waiter is blocked on holders and checks for a
+// cycle. If the new edges close a cycle, the edges are rolled back and an
+// *ErrDeadlock naming waiter as victim is returned.
+func (d *Detector) AddWaits(waiter history.TxnID, holders []history.TxnID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	m := d.waits[waiter]
+	if m == nil {
+		m = make(map[history.TxnID]bool)
+		d.waits[waiter] = m
+	}
+	for _, h := range holders {
+		m[h] = true
+	}
+	if cycle := d.findCycleFrom(waiter); cycle != nil {
+		delete(d.waits, waiter)
+		return &ErrDeadlock{Victim: waiter, Cycle: cycle}
+	}
+	return nil
+}
+
+// ClearWaits removes all outgoing edges of waiter (called after it wakes or
+// aborts).
+func (d *Detector) ClearWaits(waiter history.TxnID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.waits, waiter)
+}
+
+// findCycleFrom performs a DFS from start and returns a cycle through start
+// if one exists. Caller holds d.mu.
+func (d *Detector) findCycleFrom(start history.TxnID) []history.TxnID {
+	var path []history.TxnID
+	onPath := make(map[history.TxnID]bool)
+	visited := make(map[history.TxnID]bool)
+	var dfs func(t history.TxnID) []history.TxnID
+	dfs = func(t history.TxnID) []history.TxnID {
+		if onPath[t] && t == start {
+			return append([]history.TxnID(nil), path...)
+		}
+		if visited[t] {
+			return nil
+		}
+		visited[t] = true
+		onPath[t] = true
+		path = append(path, t)
+		// Deterministic iteration for reproducible cycles.
+		next := make([]history.TxnID, 0, len(d.waits[t]))
+		for n := range d.waits[t] {
+			next = append(next, n)
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+		for _, n := range next {
+			if n == start {
+				return append([]history.TxnID(nil), path...)
+			}
+			if c := dfs(n); c != nil {
+				return c
+			}
+		}
+		path = path[:len(path)-1]
+		onPath[t] = false
+		return nil
+	}
+	return dfs(start)
+}
+
+// WaitCount returns the number of transactions currently waiting
+// (diagnostics).
+func (d *Detector) WaitCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.waits)
+}

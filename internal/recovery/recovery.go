@@ -1,0 +1,291 @@
+// Package recovery implements the two executable recovery managers whose
+// abstractions the paper studies (Section 5):
+//
+//   - UndoLog: update-in-place. A single current state is updated as
+//     operations execute; each update logs an operation-level undo record
+//     to a write-ahead log, and abort walks the transaction's chain
+//     backward applying logical inverses. Operation (logical) undo — not
+//     before-image restoration of the whole object — is what lets
+//     update-in-place coexist with concurrent updates, the very point the
+//     paper makes about value logging à la Hadzilacos.
+//
+//   - Intentions: deferred update. The base state holds only committed
+//     effects; each transaction accumulates an intentions list, responses
+//     are computed against base-plus-own-intentions, commit applies the
+//     list to the base in commit order, and abort simply discards it.
+//
+// The correspondence validated by tests and used by the engine:
+// UndoLog realizes the UIP view function and requires an NRBC-containing
+// conflict relation (Theorem 9); Intentions realizes DU and requires an
+// NFC-containing relation (Theorem 10).
+package recovery
+
+import (
+	"fmt"
+
+	"repro/internal/adt"
+	"repro/internal/history"
+	"repro/internal/spec"
+	"repro/internal/wal"
+)
+
+// Store is the per-object recovery interface the transaction engine drives.
+// Stores are not synchronized; the engine serializes access per object.
+type Store interface {
+	// Peek computes the response inv would receive for txn in the current
+	// recovery state without applying it. It returns adt.ErrNotEnabled for
+	// partial invocations with no legal response.
+	Peek(txn history.TxnID, inv spec.Invocation) (spec.Response, error)
+	// Apply executes inv for txn, recording whatever the recovery
+	// discipline needs to commit or abort it later. The returned response
+	// equals what Peek would have returned at the same instant.
+	Apply(txn history.TxnID, inv spec.Invocation) (spec.Response, error)
+	// Commit makes txn's effects permanent.
+	Commit(txn history.TxnID) error
+	// Abort erases txn's effects.
+	Abort(txn history.TxnID) error
+	// CommittedValue returns the state reflecting only committed
+	// transactions. For an update-in-place store this requires no active
+	// updaters to be meaningful; callers use it quiescently (tests, end of
+	// run).
+	CommittedValue() adt.Value
+	// Kind names the recovery discipline ("undo-log" or "intentions").
+	Kind() string
+}
+
+// Stats counts recovery work, for the cost-profile experiments.
+type Stats struct {
+	Applies       int64
+	Undos         int64
+	CommitApplies int64 // intentions applied to base at commit
+	Replays       int64 // intentions replays for response computation
+}
+
+// UndoLog is the update-in-place store.
+type UndoLog struct {
+	obj     history.ObjectID
+	machine adt.Machine
+	current adt.Value
+	log     *wal.Log
+	// chain holds, per active transaction, the undo records in apply order.
+	chain map[history.TxnID][]undoRec
+	stats Stats
+}
+
+type undoRec struct {
+	op     spec.Operation
+	before any
+}
+
+// NewUndoLog builds an update-in-place store over the machine, logging to
+// log (which may be shared across objects).
+func NewUndoLog(obj history.ObjectID, m adt.Machine, log *wal.Log) *UndoLog {
+	return &UndoLog{
+		obj:     obj,
+		machine: m,
+		current: m.Init(),
+		log:     log,
+		chain:   make(map[history.TxnID][]undoRec),
+	}
+}
+
+// Kind implements Store.
+func (u *UndoLog) Kind() string { return "undo-log" }
+
+// Peek implements Store: the response is computed against the single
+// current state (the UIP view).
+func (u *UndoLog) Peek(txn history.TxnID, inv spec.Invocation) (spec.Response, error) {
+	res, _, err := u.machine.Apply(u.current, inv)
+	return res, err
+}
+
+// Apply implements Store: update in place and log the undo record.
+func (u *UndoLog) Apply(txn history.TxnID, inv spec.Invocation) (spec.Response, error) {
+	var before any
+	if bi, ok := u.machine.(adt.BeforeImageUndoer); ok {
+		before = bi.CaptureBefore(u.current, inv)
+	}
+	res, next, err := u.machine.Apply(u.current, inv)
+	if err != nil {
+		return "", err
+	}
+	u.current = next
+	op := spec.Op(inv, res)
+	u.chain[txn] = append(u.chain[txn], undoRec{op: op, before: before})
+	u.log.Append(wal.Record{Kind: wal.Update, Txn: txn, Obj: u.obj, Op: op, Undo: before})
+	u.stats.Applies++
+	return res, nil
+}
+
+// Commit implements Store: update-in-place commits are cheap — drop the
+// undo chain and log the commit.
+func (u *UndoLog) Commit(txn history.TxnID) error {
+	delete(u.chain, txn)
+	u.log.Append(wal.Record{Kind: wal.CommitRec, Txn: txn, Obj: u.obj})
+	return nil
+}
+
+// Abort implements Store: walk the undo chain backward applying logical
+// inverses (writing compensation records), then log the abort.
+func (u *UndoLog) Abort(txn history.TxnID) error {
+	recs := u.chain[txn]
+	for i := len(recs) - 1; i >= 0; i-- {
+		r := recs[i]
+		var next adt.Value
+		var err error
+		if bi, ok := u.machine.(adt.BeforeImageUndoer); ok && r.before != nil {
+			next, err = bi.UndoWithBefore(u.current, r.op, r.before)
+		} else {
+			next, err = u.machine.Undo(u.current, r.op)
+		}
+		if err != nil {
+			return fmt.Errorf("recovery: undo %s for %s: %w", r.op, txn, err)
+		}
+		u.current = next
+		u.log.Append(wal.Record{Kind: wal.CompensationRec, Txn: txn, Obj: u.obj, Op: r.op})
+		u.stats.Undos++
+	}
+	delete(u.chain, txn)
+	u.log.Append(wal.Record{Kind: wal.AbortRec, Txn: txn, Obj: u.obj})
+	return nil
+}
+
+// CommittedValue implements Store. Meaningful when no transaction is
+// active; with active updaters the current state includes their effects
+// (that is what update-in-place means).
+func (u *UndoLog) CommittedValue() adt.Value { return u.current.Clone() }
+
+// Stats returns a copy of the work counters.
+func (u *UndoLog) Stats() Stats { return u.stats }
+
+// Intentions is the deferred-update store.
+type Intentions struct {
+	obj     history.ObjectID
+	machine adt.Machine
+	base    adt.Value
+	baseVer uint64
+	intents map[history.TxnID]*intentList
+	stats   Stats
+}
+
+type intentList struct {
+	ops []spec.Operation
+	// cache of base+ops, valid while cacheVer == baseVer
+	cache    adt.Value
+	cacheVer uint64
+	cacheLen int
+}
+
+// NewIntentions builds a deferred-update store over the machine.
+func NewIntentions(obj history.ObjectID, m adt.Machine) *Intentions {
+	return &Intentions{
+		obj:     obj,
+		machine: m,
+		base:    m.Init(),
+		intents: make(map[history.TxnID]*intentList),
+	}
+}
+
+// Kind implements Store.
+func (n *Intentions) Kind() string { return "intentions" }
+
+// workspace returns txn's private view: base plus its own intentions, using
+// the cached value when the base has not advanced (the private-workspace
+// maintenance cost the paper attributes to deferred update).
+func (n *Intentions) workspace(txn history.TxnID) (adt.Value, error) {
+	il := n.intents[txn]
+	if il == nil {
+		return n.base, nil
+	}
+	if il.cache != nil && il.cacheVer == n.baseVer && il.cacheLen == len(il.ops) {
+		return il.cache, nil
+	}
+	v := n.base
+	for _, op := range il.ops {
+		res, next, err := n.machine.Apply(v, op.Inv)
+		if err != nil {
+			return nil, fmt.Errorf("recovery: replaying intent %s: %w", op, err)
+		}
+		if res != op.Res {
+			return nil, fmt.Errorf("recovery: intent %s replayed with response %q against moved base", op, res)
+		}
+		v = next
+		n.stats.Replays++
+	}
+	il.cache = v
+	il.cacheVer = n.baseVer
+	il.cacheLen = len(il.ops)
+	return v, nil
+}
+
+// Peek implements Store: the response is computed against base plus the
+// transaction's own intentions (the DU view).
+func (n *Intentions) Peek(txn history.TxnID, inv spec.Invocation) (spec.Response, error) {
+	w, err := n.workspace(txn)
+	if err != nil {
+		return "", err
+	}
+	res, _, err := n.machine.Apply(w, inv)
+	return res, err
+}
+
+// Apply implements Store: append to the intentions list.
+func (n *Intentions) Apply(txn history.TxnID, inv spec.Invocation) (spec.Response, error) {
+	w, err := n.workspace(txn)
+	if err != nil {
+		return "", err
+	}
+	res, next, err := n.machine.Apply(w, inv)
+	if err != nil {
+		return "", err
+	}
+	il := n.intents[txn]
+	if il == nil {
+		il = &intentList{}
+		n.intents[txn] = il
+	}
+	il.ops = append(il.ops, spec.Op(inv, res))
+	il.cache = next
+	il.cacheVer = n.baseVer
+	il.cacheLen = len(il.ops)
+	n.stats.Applies++
+	return res, nil
+}
+
+// Commit implements Store: apply the intentions list to the base copy.
+// Commit order is the order of Commit calls, which the engine serializes
+// per object — exactly the DU view's Commit-order.
+func (n *Intentions) Commit(txn history.TxnID) error {
+	il := n.intents[txn]
+	if il != nil {
+		v := n.base
+		for _, op := range il.ops {
+			res, next, err := n.machine.Apply(v, op.Inv)
+			if err != nil {
+				return fmt.Errorf("recovery: committing intent %s for %s: %w", op, txn, err)
+			}
+			if res != op.Res {
+				return fmt.Errorf("recovery: intent %s for %s committed with divergent response %q", op, txn, res)
+			}
+			v = next
+			n.stats.CommitApplies++
+		}
+		n.base = v
+		n.baseVer++
+	}
+	delete(n.intents, txn)
+	return nil
+}
+
+// Abort implements Store: discard the intentions list — deferred-update
+// aborts are free.
+func (n *Intentions) Abort(txn history.TxnID) error {
+	delete(n.intents, txn)
+	return nil
+}
+
+// CommittedValue implements Store: the base copy, always meaningful.
+func (n *Intentions) CommittedValue() adt.Value { return n.base.Clone() }
+
+// Stats returns a copy of the work counters.
+func (n *Intentions) Stats() Stats { return n.stats }

@@ -1,0 +1,256 @@
+package recovery
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/history"
+	"repro/internal/spec"
+	"repro/internal/wal"
+)
+
+func newUndoBA() *UndoLog {
+	return NewUndoLog("BA", adt.DefaultBankAccount().Machine(), wal.New())
+}
+
+func newIntentBA() *Intentions {
+	return NewIntentions("BA", adt.DefaultBankAccount().Machine())
+}
+
+func TestUndoLogBasicCommit(t *testing.T) {
+	u := newUndoBA()
+	res, err := u.Apply("A", adt.Deposit(5))
+	if err != nil || res != "ok" {
+		t.Fatalf("apply: %v %v", res, err)
+	}
+	if err := u.Commit("A"); err != nil {
+		t.Fatal(err)
+	}
+	if got := u.CommittedValue().Encode(); got != "5" {
+		t.Fatalf("committed value = %s", got)
+	}
+}
+
+func TestUndoLogAbortUndoesInReverse(t *testing.T) {
+	u := newUndoBA()
+	mustApply := func(txn history.TxnID, inv spec.Invocation) {
+		t.Helper()
+		if _, err := u.Apply(txn, inv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustApply("A", adt.Deposit(5))
+	mustApply("A", adt.Withdraw(2))
+	if err := u.Abort("A"); err != nil {
+		t.Fatal(err)
+	}
+	if got := u.CommittedValue().Encode(); got != "0" {
+		t.Fatalf("state after abort = %s, want 0", got)
+	}
+	if u.Stats().Undos != 2 {
+		t.Errorf("Undos = %d, want 2", u.Stats().Undos)
+	}
+}
+
+// TestUndoLogConcurrentUpdatersAbort is the crux of operation logging:
+// undoing A's deposit must not clobber B's concurrent deposit.
+func TestUndoLogConcurrentUpdatersAbort(t *testing.T) {
+	u := newUndoBA()
+	if _, err := u.Apply("A", adt.Deposit(5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Apply("B", adt.Deposit(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Abort("A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Commit("B"); err != nil {
+		t.Fatal(err)
+	}
+	if got := u.CommittedValue().Encode(); got != "3" {
+		t.Fatalf("state = %s, want 3 (B's deposit preserved)", got)
+	}
+}
+
+// TestUndoLogUIPVisibility: uncommitted effects are visible to others —
+// update-in-place semantics.
+func TestUndoLogUIPVisibility(t *testing.T) {
+	u := newUndoBA()
+	if _, err := u.Apply("A", adt.Deposit(5)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := u.Peek("B", adt.Withdraw(3))
+	if err != nil || res != "ok" {
+		t.Fatalf("B should see A's uncommitted deposit: %v %v", res, err)
+	}
+}
+
+func TestUndoLogWALRecords(t *testing.T) {
+	log := wal.New()
+	u := NewUndoLog("BA", adt.DefaultBankAccount().Machine(), log)
+	if _, err := u.Apply("A", adt.Deposit(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Abort("A"); err != nil {
+		t.Fatal(err)
+	}
+	recs := log.Snapshot()
+	if len(recs) != 3 {
+		t.Fatalf("expected update+clr+abort, got %v", recs)
+	}
+	if recs[0].Kind != wal.Update || recs[1].Kind != wal.CompensationRec || recs[2].Kind != wal.AbortRec {
+		t.Fatalf("record kinds = %v %v %v", recs[0].Kind, recs[1].Kind, recs[2].Kind)
+	}
+}
+
+func TestUndoLogBeforeImageMachine(t *testing.T) {
+	// The KV machine needs before-image undo; the undo log must capture and
+	// use it.
+	u := NewUndoLog("KV", adt.DefaultKVStore().Machine(), wal.New())
+	if _, err := u.Apply("A", adt.Put("x", "1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Commit("A"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Apply("B", adt.Put("x", "2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Abort("B"); err != nil {
+		t.Fatal(err)
+	}
+	if got := u.CommittedValue().Encode(); got != "<x=1>" {
+		t.Fatalf("state = %s, want <x=1>", got)
+	}
+}
+
+func TestIntentionsDUVisibility(t *testing.T) {
+	n := newIntentBA()
+	if _, err := n.Apply("A", adt.Deposit(5)); err != nil {
+		t.Fatal(err)
+	}
+	// B does not see A's uncommitted deposit.
+	res, err := n.Peek("B", adt.Withdraw(3))
+	if err != nil || res != "no" {
+		t.Fatalf("B should see the committed balance 0: %v %v", res, err)
+	}
+	// A sees its own intentions.
+	res, err = n.Peek("A", adt.Withdraw(3))
+	if err != nil || res != "ok" {
+		t.Fatalf("A should see its own deposit: %v %v", res, err)
+	}
+	if err := n.Commit("A"); err != nil {
+		t.Fatal(err)
+	}
+	res, err = n.Peek("B", adt.Withdraw(3))
+	if err != nil || res != "ok" {
+		t.Fatalf("after commit B sees the deposit: %v %v", res, err)
+	}
+}
+
+func TestIntentionsAbortIsFree(t *testing.T) {
+	n := newIntentBA()
+	if _, err := n.Apply("A", adt.Deposit(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Abort("A"); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.CommittedValue().Encode(); got != "0" {
+		t.Fatalf("base = %s, want 0", got)
+	}
+	if n.Stats().Undos != 0 {
+		t.Error("intentions abort must not undo anything")
+	}
+}
+
+func TestIntentionsCommitOrder(t *testing.T) {
+	// Queue: A enqueues a, B enqueues b, B commits first — base must read
+	// [b;a] (commit order), not execution order. Note enq/enq conflicts
+	// under NFC, so a real engine would never interleave these; the store
+	// itself is order-agnostic and follows Commit calls.
+	n := NewIntentions("Q", adt.DefaultFIFOQueue().Machine())
+	if _, err := n.Apply("A", adt.Enq("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Apply("B", adt.Enq("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Commit("B"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Commit("A"); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.CommittedValue().Encode(); got != "[b;a]" {
+		t.Fatalf("base = %s, want [b;a]", got)
+	}
+}
+
+func TestIntentionsWorkspaceRefreshAfterBaseMove(t *testing.T) {
+	n := newIntentBA()
+	if _, err := n.Apply("A", adt.Deposit(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Apply("B", adt.Deposit(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Commit("B"); err != nil {
+		t.Fatal(err)
+	}
+	// A's workspace is now base(5) + own deposit(2) = 7.
+	res, err := n.Peek("A", adt.Balance())
+	if err != nil || res != "7" {
+		t.Fatalf("A's balance = %v %v, want 7", res, err)
+	}
+	if n.Stats().Replays == 0 {
+		t.Error("expected replay work after base movement")
+	}
+}
+
+func TestIntentionsPartialInvocation(t *testing.T) {
+	n := NewIntentions("P", adt.ResourcePool{Resources: []int{1}}.Machine())
+	if _, err := n.Apply("A", adt.Alloc()); err != nil {
+		t.Fatal(err)
+	}
+	// A's workspace is empty; alloc is not enabled for A.
+	if _, err := n.Peek("A", adt.Alloc()); !errors.Is(err, adt.ErrNotEnabled) {
+		t.Fatalf("expected ErrNotEnabled, got %v", err)
+	}
+	// B's workspace is the base (still full): alloc picks resource 1 —
+	// and would conflict under NFC, which the engine enforces, not the
+	// store.
+	res, err := n.Peek("B", adt.Alloc())
+	if err != nil || res != "1" {
+		t.Fatalf("B's alloc = %v %v", res, err)
+	}
+}
+
+func TestUndoLogPartialInvocation(t *testing.T) {
+	u := NewUndoLog("P", adt.ResourcePool{Resources: []int{1}}.Machine(), wal.New())
+	if _, err := u.Apply("A", adt.Alloc()); err != nil {
+		t.Fatal(err)
+	}
+	// Update-in-place: the pool is empty for everyone.
+	if _, err := u.Peek("B", adt.Alloc()); !errors.Is(err, adt.ErrNotEnabled) {
+		t.Fatalf("expected ErrNotEnabled, got %v", err)
+	}
+	if err := u.Abort("A"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := u.Peek("B", adt.Alloc())
+	if err != nil || res != "1" {
+		t.Fatalf("after abort the resource is back: %v %v", res, err)
+	}
+}
+
+func TestStoreKinds(t *testing.T) {
+	if newUndoBA().Kind() != "undo-log" {
+		t.Error("undo-log kind")
+	}
+	if newIntentBA().Kind() != "intentions" {
+		t.Error("intentions kind")
+	}
+}

@@ -1,0 +1,148 @@
+package recovery
+
+import (
+	"fmt"
+
+	"repro/internal/adt"
+	"repro/internal/history"
+	"repro/internal/wal"
+)
+
+// Restart reconstructs an UndoLog store for object obj from its write-ahead
+// log after a crash, in the style of an abort-only ARIES restart:
+//
+//  1. Redo: replay every Update record for obj in LSN order against the
+//     machine, checking that each operation reproduces its logged response
+//     (the machine is a deterministic refinement, so divergence means a
+//     corrupt log or mismatched machine). Compensation records re-apply the
+//     undo they logged.
+//  2. Undo: transactions with updates but neither a commit nor an abort
+//     record are losers — in-flight at the crash. Their un-compensated
+//     updates are undone newest-first, exactly as live abort processing
+//     would have done, and compensation plus abort records are appended so
+//     the log ends in a state equivalent to "every loser aborted".
+//
+// The paper deliberately leaves crash recovery out of scope (Section 1);
+// Restart is the natural engineering extension the paper's abort-recovery
+// analysis anticipates: because undo is logical (operation-level), the
+// reconstructed state is exactly the one obtained by aborting the losers,
+// and the correctness argument is Theorem 9's.
+//
+// The returned store owns the same log and is ready for new transactions.
+func Restart(obj history.ObjectID, m adt.Machine, log *wal.Log) (*UndoLog, error) {
+	type txnInfo struct {
+		committed bool
+		aborted   bool
+		// pending holds applied-but-not-compensated update records, in
+		// apply order.
+		pending []undoRec
+	}
+	txns := make(map[history.TxnID]*txnInfo)
+	get := func(t history.TxnID) *txnInfo {
+		ti := txns[t]
+		if ti == nil {
+			ti = &txnInfo{}
+			txns[t] = ti
+		}
+		return ti
+	}
+
+	state := m.Init()
+	bi, hasBI := m.(adt.BeforeImageUndoer)
+
+	undoOne := func(r undoRec) error {
+		var next adt.Value
+		var err error
+		if hasBI && r.before != nil {
+			next, err = bi.UndoWithBefore(state, r.op, r.before)
+		} else {
+			next, err = m.Undo(state, r.op)
+		}
+		if err != nil {
+			return err
+		}
+		state = next
+		return nil
+	}
+
+	// Phase 1: redo history from the log.
+	for _, rec := range log.Snapshot() {
+		if rec.Obj != obj {
+			continue
+		}
+		ti := get(rec.Txn)
+		switch rec.Kind {
+		case wal.Update:
+			res, next, err := m.Apply(state, rec.Op.Inv)
+			if err != nil {
+				return nil, fmt.Errorf("recovery: restart redo LSN %d: %w", rec.LSN, err)
+			}
+			if res != rec.Op.Res {
+				return nil, fmt.Errorf("recovery: restart redo LSN %d: operation %s replayed with response %q",
+					rec.LSN, rec.Op, res)
+			}
+			state = next
+			ti.pending = append(ti.pending, undoRec{op: rec.Op, before: rec.Undo})
+		case wal.CompensationRec:
+			if len(ti.pending) == 0 {
+				return nil, fmt.Errorf("recovery: restart LSN %d: compensation with no pending update for %s",
+					rec.LSN, rec.Txn)
+			}
+			last := ti.pending[len(ti.pending)-1]
+			if last.op != rec.Op {
+				return nil, fmt.Errorf("recovery: restart LSN %d: compensation order mismatch (%s vs %s)",
+					rec.LSN, last.op, rec.Op)
+			}
+			if err := undoOne(last); err != nil {
+				return nil, fmt.Errorf("recovery: restart LSN %d: %w", rec.LSN, err)
+			}
+			ti.pending = ti.pending[:len(ti.pending)-1]
+		case wal.CommitRec:
+			ti.committed = true
+			ti.pending = nil
+		case wal.AbortRec:
+			ti.aborted = true
+			if len(ti.pending) != 0 {
+				return nil, fmt.Errorf("recovery: restart: abort record for %s with %d un-compensated updates",
+					rec.Txn, len(ti.pending))
+			}
+		}
+	}
+
+	// Phase 2: undo the losers, logging compensation as live abort would.
+	// Deterministic order: by transaction ID.
+	var losers []history.TxnID
+	for t, ti := range txns {
+		if !ti.committed && !ti.aborted && len(ti.pending) > 0 {
+			losers = append(losers, t)
+		}
+	}
+	sortTxnIDs(losers)
+	for _, t := range losers {
+		ti := txns[t]
+		for i := len(ti.pending) - 1; i >= 0; i-- {
+			r := ti.pending[i]
+			if err := undoOne(r); err != nil {
+				return nil, fmt.Errorf("recovery: restart undo of loser %s: %w", t, err)
+			}
+			log.Append(wal.Record{Kind: wal.CompensationRec, Txn: t, Obj: obj, Op: r.op})
+		}
+		log.Append(wal.Record{Kind: wal.AbortRec, Txn: t, Obj: obj})
+	}
+
+	return &UndoLog{
+		obj:     obj,
+		machine: m,
+		current: state,
+		log:     log,
+		chain:   make(map[history.TxnID][]undoRec),
+	}, nil
+}
+
+func sortTxnIDs(ids []history.TxnID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package recovery
+
+import (
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/history"
+	"repro/internal/spec"
+	"repro/internal/wal"
+)
+
+// TestRestartCleanLog: restart after only committed work reproduces the
+// committed state.
+func TestRestartCleanLog(t *testing.T) {
+	log := wal.New()
+	u := NewUndoLog("BA", adt.DefaultBankAccount().Machine(), log)
+	mustApplyR(t, u, "A", adt.Deposit(5))
+	mustApplyR(t, u, "A", adt.Withdraw(2))
+	if err := u.Commit("A"); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: discard u; rebuild from the log.
+	r, err := Restart("BA", adt.DefaultBankAccount().Machine(), log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.CommittedValue().Encode(); got != "3" {
+		t.Fatalf("restart state = %s, want 3", got)
+	}
+}
+
+// TestRestartUndoesLoser: an in-flight transaction at the crash is rolled
+// back during restart, preserving concurrent committed work.
+func TestRestartUndoesLoser(t *testing.T) {
+	log := wal.New()
+	u := NewUndoLog("BA", adt.DefaultBankAccount().Machine(), log)
+	mustApplyR(t, u, "A", adt.Deposit(5))
+	if err := u.Commit("A"); err != nil {
+		t.Fatal(err)
+	}
+	mustApplyR(t, u, "B", adt.Deposit(3)) // loser: never commits
+	mustApplyR(t, u, "C", adt.Deposit(2))
+	if err := u.Commit("C"); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Restart("BA", adt.DefaultBankAccount().Machine(), log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.CommittedValue().Encode(); got != "7" {
+		t.Fatalf("restart state = %s, want 7 (5 + 2, loser's 3 undone)", got)
+	}
+	// The log now ends with B's compensation and abort records.
+	recs := log.Snapshot()
+	last := recs[len(recs)-1]
+	if last.Kind != wal.AbortRec || last.Txn != "B" {
+		t.Fatalf("log should end with B's abort record, got %v", last)
+	}
+	// The restarted store accepts new work.
+	mustApplyR(t, r, "D", adt.Deposit(1))
+	if err := r.Commit("D"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.CommittedValue().Encode(); got != "8" {
+		t.Fatalf("post-restart state = %s, want 8", got)
+	}
+}
+
+// TestRestartAfterPartialAbort: a crash in the middle of abort processing
+// (some compensation records written) resumes the undo correctly.
+func TestRestartAfterPartialAbort(t *testing.T) {
+	log := wal.New()
+	m := adt.DefaultBankAccount().Machine()
+	u := NewUndoLog("BA", m, log)
+	mustApplyR(t, u, "A", adt.Deposit(5))
+	mustApplyR(t, u, "A", adt.Deposit(3))
+	// Simulate a partial abort: write the CLR for the newest update only,
+	// as live abort would before crashing mid-walk.
+	log.Append(wal.Record{Kind: wal.CompensationRec, Txn: "A", Obj: "BA", Op: adt.DepositOk(3)})
+
+	r, err := Restart("BA", adt.DefaultBankAccount().Machine(), log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.CommittedValue().Encode(); got != "0" {
+		t.Fatalf("restart state = %s, want 0 (both deposits undone, one via CLR)", got)
+	}
+}
+
+// TestRestartIdempotent: restarting twice from the same log yields the same
+// state — the second restart sees the losers already aborted.
+func TestRestartIdempotent(t *testing.T) {
+	log := wal.New()
+	u := NewUndoLog("BA", adt.DefaultBankAccount().Machine(), log)
+	mustApplyR(t, u, "A", adt.Deposit(5))
+	if err := u.Commit("A"); err != nil {
+		t.Fatal(err)
+	}
+	mustApplyR(t, u, "B", adt.Withdraw(2)) // loser
+
+	r1, err := Restart("BA", adt.DefaultBankAccount().Machine(), log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Restart("BA", adt.DefaultBankAccount().Machine(), log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.CommittedValue().Encode() != r2.CommittedValue().Encode() {
+		t.Fatalf("restart not idempotent: %s vs %s",
+			r1.CommittedValue().Encode(), r2.CommittedValue().Encode())
+	}
+	if got := r2.CommittedValue().Encode(); got != "5" {
+		t.Fatalf("state = %s, want 5", got)
+	}
+}
+
+// TestRestartBeforeImageMachine: restart replays before-image undo tokens
+// from the log for machines that need them (KV store).
+func TestRestartBeforeImageMachine(t *testing.T) {
+	log := wal.New()
+	u := NewUndoLog("KV", adt.DefaultKVStore().Machine(), log)
+	mustApplyR(t, u, "A", adt.Put("x", "1"))
+	if err := u.Commit("A"); err != nil {
+		t.Fatal(err)
+	}
+	mustApplyR(t, u, "B", adt.Put("x", "2")) // loser overwrites x
+
+	r, err := Restart("KV", adt.DefaultKVStore().Machine(), log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.CommittedValue().Encode(); got != "<x=1>" {
+		t.Fatalf("restart state = %s, want <x=1>", got)
+	}
+}
+
+// TestRestartMultiObjectLog: the shared log interleaves records of several
+// objects; restart filters correctly.
+func TestRestartMultiObjectLog(t *testing.T) {
+	log := wal.New()
+	u1 := NewUndoLog("X", adt.DefaultBankAccount().Machine(), log)
+	u2 := NewUndoLog("Y", adt.DefaultBankAccount().Machine(), log)
+	mustApplyR(t, u1, "A", adt.Deposit(5))
+	mustApplyR(t, u2, "A", adt.Deposit(7))
+	if err := u1.Commit("A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := u2.Commit("A"); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Restart("X", adt.DefaultBankAccount().Machine(), log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Restart("Y", adt.DefaultBankAccount().Machine(), log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.CommittedValue().Encode() != "5" || r2.CommittedValue().Encode() != "7" {
+		t.Fatalf("restart states = %s, %s", r1.CommittedValue().Encode(), r2.CommittedValue().Encode())
+	}
+}
+
+func mustApplyR(t *testing.T, u *UndoLog, txn history.TxnID, inv spec.Invocation) {
+	t.Helper()
+	if _, err := u.Apply(txn, inv); err != nil {
+		t.Fatal(err)
+	}
+}

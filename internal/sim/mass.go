@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/adt"
+	"repro/internal/commute"
+	"repro/internal/spec"
+)
+
+// OpDist is a discrete distribution over operations: the probability that a
+// random operation of the workload is op. Probabilities need not sum to 1;
+// ConflictMass normalizes.
+type OpDist map[spec.Operation]float64
+
+// BankingOpDist builds the operation distribution of a banking mix at a
+// high balance (withdrawals succeed, balance reads return balanceProbe).
+// Amounts 1..3 are uniform within each class.
+func BankingOpDist(depositPct, withdrawPct int, balanceProbe int) OpDist {
+	d := OpDist{}
+	depositW := float64(depositPct) / 3
+	withdrawW := float64(withdrawPct) / 3
+	balanceW := float64(100 - depositPct - withdrawPct)
+	for i := 1; i <= 3; i++ {
+		d[adt.DepositOk(i)] += depositW
+		d[adt.WithdrawOk(i)] += withdrawW
+	}
+	if balanceW > 0 {
+		d[adt.BalanceIs(balanceProbe)] += balanceW
+	}
+	return d
+}
+
+// ConflictMass computes the exact probability that a random requested
+// operation conflicts with a random held operation, both drawn from the
+// distribution: Σ P(p)·P(q)·[rel.Conflicts(p,q)]. This is the
+// deterministic, machine-independent form of the trade-off experiments:
+// blocking frequency in a run is proportional to this mass for a given
+// level of overlap.
+func ConflictMass(rel commute.Relation, dist OpDist) float64 {
+	total := 0.0
+	for _, w := range dist {
+		total += w
+	}
+	if total == 0 {
+		return 0
+	}
+	mass := 0.0
+	for p, wp := range dist {
+		for q, wq := range dist {
+			if rel.Conflicts(p, q) {
+				mass += (wp / total) * (wq / total)
+			}
+		}
+	}
+	return mass
+}
+
+// MassRow is one line of the conflict-mass table: a mix and the masses
+// under each relation.
+type MassRow struct {
+	Mix    string
+	Masses []float64
+}
+
+// ConflictMassTable evaluates the named relations across a sweep of
+// deposit/withdraw mixes, producing the deterministic core of the
+// trade-off figure: who conflicts more, where the crossover falls.
+func ConflictMassTable(rels []commute.Relation, mixes [][2]int, balanceProbe int) []MassRow {
+	var rows []MassRow
+	for _, mix := range mixes {
+		dist := BankingOpDist(mix[0], mix[1], balanceProbe)
+		row := MassRow{Mix: fmt.Sprintf("dep=%d%%/wdr=%d%%", mix[0], mix[1])}
+		for _, rel := range rels {
+			row.Masses = append(row.Masses, ConflictMass(rel, dist))
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderMassTable renders the conflict-mass table with relation names as
+// columns.
+func RenderMassTable(title string, names []string, rows []MassRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, title)
+	fmt.Fprintf(&b, "%-20s", "mix")
+	for _, n := range names {
+		fmt.Fprintf(&b, " %14s", n)
+	}
+	fmt.Fprintln(&b)
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-20s", r.Mix)
+		for _, m := range r.Masses {
+			fmt.Fprintf(&b, " %14.4f", m)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}

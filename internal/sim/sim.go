@@ -1,0 +1,204 @@
+// Package sim implements the workload generators and the experiment
+// harness that regenerate the paper's evaluation artifacts and quantify
+// its central qualitative claim: the choice of recovery method constrains
+// concurrency control, and the two constraints (NRBC for update-in-place,
+// NFC for deferred update) are incomparable — so each recovery method wins
+// on workloads whose operation mix exercises the conflicts the other must
+// forbid.
+//
+// All workloads are seeded and deterministic in structure; wall-clock
+// throughput varies with the machine, but the conflict/block/abort shape —
+// what the experiments actually assert — is stable.
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/adt"
+	"repro/internal/commute"
+	"repro/internal/spec"
+	"repro/internal/txn"
+)
+
+// Scheduler names a (concurrency control, recovery) pairing under test.
+type Scheduler int
+
+const (
+	// UIPNRBC is update-in-place (undo log) with the minimal NRBC conflicts
+	// — the paper's Theorem 9 optimum.
+	UIPNRBC Scheduler = iota
+	// DUNFC is deferred update (intentions) with the minimal NFC conflicts
+	// — the paper's Theorem 10 optimum.
+	DUNFC
+	// UIPRW is update-in-place with classic read/write locking
+	// (Section 8.1 baseline: correct for both recovery methods, least
+	// concurrent).
+	UIPRW
+	// DURW is deferred update with read/write locking.
+	DURW
+	// UIPInv is update-in-place with invocation-based locking (lifted
+	// NRBCI): locks ignore results (Section 8.2 baseline).
+	UIPInv
+	// DUInv is deferred update with invocation-based locking (lifted NFCI).
+	DUInv
+	// UIPSym is the ablation: update-in-place with the symmetric closure
+	// of NRBC — the extra conflicts the paper shows are unnecessary.
+	UIPSym
+)
+
+// Schedulers lists every pairing, in presentation order.
+var Schedulers = []Scheduler{UIPNRBC, DUNFC, UIPRW, DURW, UIPInv, DUInv, UIPSym}
+
+// String implements fmt.Stringer.
+func (s Scheduler) String() string {
+	switch s {
+	case UIPNRBC:
+		return "UIP/NRBC"
+	case DUNFC:
+		return "DU/NFC"
+	case UIPRW:
+		return "UIP/RW"
+	case DURW:
+		return "DU/RW"
+	case UIPInv:
+		return "UIP/invocation"
+	case DUInv:
+		return "DU/invocation"
+	case UIPSym:
+		return "UIP/sym(NRBC)"
+	}
+	return fmt.Sprintf("Scheduler(%d)", int(s))
+}
+
+// Kind returns the recovery discipline of the pairing.
+func (s Scheduler) Kind() txn.RecoveryKind {
+	switch s {
+	case DUNFC, DURW, DUInv:
+		return txn.IntentionsRecovery
+	}
+	return txn.UndoLogRecovery
+}
+
+// bankRelation returns the conflict relation the scheduler uses for a bank
+// account. The analytic NFC/NRBC/RW relations are stateless and safe to
+// share; the invocation-based relations are derived from the window
+// specification's checker and must be materialized before concurrent use.
+// All workload amounts stay inside the window.
+func bankRelation(s Scheduler, ba adt.BankAccount) commute.Relation {
+	switch s {
+	case UIPNRBC:
+		return ba.NRBC()
+	case DUNFC:
+		return ba.NFC()
+	case UIPRW, DURW:
+		return ba.RW()
+	case UIPInv:
+		c := ba.Checker()
+		return commute.LiftInvocationRelation(
+			commute.MaterializeInvocations(c.NRBCIRelation(), spec.Invocations(c.Spec())))
+	case DUInv:
+		c := ba.Checker()
+		return commute.LiftInvocationRelation(
+			commute.MaterializeInvocations(c.NFCIRelation(), spec.Invocations(c.Spec())))
+	case UIPSym:
+		return commute.SymmetricClosure(ba.NRBC())
+	}
+	panic(fmt.Sprintf("sim: unknown scheduler %d", int(s)))
+}
+
+// poolRelation returns the conflict relation for a resource pool. The
+// pool's NFC/NRBC relations are checker-derived, so every variant is
+// materialized over the pool's finite alphabet for concurrency safety.
+func poolRelation(s Scheduler, p adt.ResourcePool) commute.Relation {
+	ops := p.Spec().Alphabet()
+	switch s {
+	case UIPNRBC:
+		return commute.Materialize(p.NRBC(), ops)
+	case DUNFC:
+		return commute.Materialize(p.NFC(), ops)
+	case UIPRW, DURW:
+		return p.RW()
+	case UIPInv:
+		c := p.Checker()
+		return commute.LiftInvocationRelation(
+			commute.MaterializeInvocations(c.NRBCIRelation(), spec.Invocations(c.Spec())))
+	case DUInv:
+		c := p.Checker()
+		return commute.LiftInvocationRelation(
+			commute.MaterializeInvocations(c.NFCIRelation(), spec.Invocations(c.Spec())))
+	case UIPSym:
+		return commute.Materialize(commute.SymmetricClosure(p.NRBC()), ops)
+	}
+	panic(fmt.Sprintf("sim: unknown scheduler %d", int(s)))
+}
+
+// Result captures one run.
+type Result struct {
+	Scheduler  string
+	Workload   string
+	Txns       int64
+	Commits    int64
+	Aborts     int64
+	Deadlocks  int64
+	Operations int64
+	Blocked    int64 // operations that waited at least once
+	NotEnabled int64 // partial invocations finding no response
+	Elapsed    time.Duration
+}
+
+// BlockedPct returns the percentage of operations that blocked.
+func (r Result) BlockedPct() float64 {
+	if r.Operations == 0 {
+		return 0
+	}
+	return 100 * float64(r.Blocked) / float64(r.Operations)
+}
+
+// Throughput returns committed transactions per second.
+func (r Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Commits) / r.Elapsed.Seconds()
+}
+
+// Row renders the result as a fixed-width table row.
+func (r Result) Row() string {
+	return fmt.Sprintf("%-16s %8d %8d %8d %9d %8d %10.1f %9.2f%%",
+		r.Scheduler, r.Commits, r.Aborts, r.Deadlocks, r.Operations,
+		r.Blocked, r.Throughput(), r.BlockedPct())
+}
+
+// Header is the column header matching Row.
+func Header() string {
+	return fmt.Sprintf("%-16s %8s %8s %8s %9s %8s %10s %10s",
+		"scheduler", "commits", "aborts", "deadlk", "ops", "blocked", "txn/s", "blocked%")
+}
+
+// RenderTable renders a titled result table.
+func RenderTable(title string, rows []Result) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, title)
+	fmt.Fprintln(&b, Header())
+	for _, r := range rows {
+		fmt.Fprintln(&b, r.Row())
+	}
+	return b.String()
+}
+
+func collect(s Scheduler, workload string, e *txn.Engine, elapsed time.Duration) Result {
+	return Result{
+		Scheduler:  s.String(),
+		Workload:   workload,
+		Txns:       e.Metrics.Begins.Load(),
+		Commits:    e.Metrics.Commits.Load(),
+		Aborts:     e.Metrics.Aborts.Load(),
+		Deadlocks:  e.Metrics.Deadlocks.Load(),
+		Operations: e.Metrics.Operations.Load(),
+		Blocked:    e.Metrics.Blocked.Load(),
+		NotEnabled: e.Metrics.NotEnabled.Load(),
+		Elapsed:    elapsed,
+	}
+}

@@ -1,0 +1,374 @@
+// Package txn implements the executable transaction engine: the practical
+// counterpart of the paper's abstract object model. Transactions run as
+// goroutines invoking operations on registered objects; each object couples
+// a conflict-relation-driven lock table (strict operation-level two-phase
+// locking) with a recovery store (update-in-place undo logging or
+// deferred-update intentions lists); commits across objects use a
+// two-phase protocol; and every event is recorded in a global history that
+// the atomicity checkers and the abstract model can audit after the fact.
+//
+// The engine realizes exactly the parameters of I(X, Spec, View, Conflict):
+// pairing an UndoLog store with an NRBC-containing relation yields a
+// correct UIP object (Theorem 9); pairing an Intentions store with an
+// NFC-containing relation yields a correct DU object (Theorem 10).
+// Integration tests validate both by replaying engine histories through the
+// abstract automaton and the dynamic-atomicity checkers.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/adt"
+	"repro/internal/commute"
+	"repro/internal/history"
+	"repro/internal/locking"
+	"repro/internal/recovery"
+	"repro/internal/spec"
+	"repro/internal/wal"
+)
+
+// RecoveryKind selects the recovery manager for an object.
+type RecoveryKind int
+
+const (
+	// UndoLogRecovery is update-in-place with operation-level undo (UIP).
+	UndoLogRecovery RecoveryKind = iota
+	// IntentionsRecovery is deferred update with intentions lists (DU).
+	IntentionsRecovery
+)
+
+// String implements fmt.Stringer.
+func (k RecoveryKind) String() string {
+	if k == UndoLogRecovery {
+		return "undo-log(UIP)"
+	}
+	return "intentions(DU)"
+}
+
+// ErrAborted is wrapped by operations on a transaction that has been
+// aborted (by the user or as a deadlock victim).
+var ErrAborted = errors.New("txn: transaction aborted")
+
+// ErrNotActive is returned for operations on committed/finished
+// transactions.
+var ErrNotActive = errors.New("txn: transaction not active")
+
+// Metrics counts engine-level events. All fields are updated atomically and
+// may be read concurrently.
+type Metrics struct {
+	Begins     atomic.Int64
+	Commits    atomic.Int64
+	Aborts     atomic.Int64
+	Deadlocks  atomic.Int64
+	Operations atomic.Int64
+	// Blocked counts operations that had to wait at least once for a
+	// conflicting lock — the engine-level measure of lost concurrency.
+	Blocked atomic.Int64
+	// BlockEvents counts individual waits (an operation can wait several
+	// times).
+	BlockEvents atomic.Int64
+	// NotEnabled counts partial invocations that found no legal response.
+	NotEnabled atomic.Int64
+}
+
+// Options configures an Engine.
+type Options struct {
+	// RecordHistory enables the global event recorder (required for
+	// post-hoc verification; disable only in throughput benchmarks).
+	RecordHistory bool
+}
+
+// Engine manages objects and transactions.
+type Engine struct {
+	opts     Options
+	detector *locking.Detector
+	log      *wal.Log
+
+	mu      sync.Mutex
+	objects map[history.ObjectID]*managedObject
+	events  history.History
+	seq     atomic.Int64
+
+	// Metrics is exported for the experiment harness.
+	Metrics Metrics
+}
+
+// managedObject couples the lock table, recovery store, and latch of one
+// object.
+type managedObject struct {
+	id    history.ObjectID
+	mu    sync.Mutex
+	cond  *sync.Cond
+	table *locking.Table
+	store recovery.Store
+	rel   commute.Relation
+	kind  RecoveryKind
+}
+
+// NewEngine builds an engine.
+func NewEngine(opts Options) *Engine {
+	return &Engine{
+		opts:     opts,
+		detector: locking.NewDetector(),
+		log:      wal.New(),
+		objects:  make(map[history.ObjectID]*managedObject),
+	}
+}
+
+// WAL returns the engine's shared write-ahead log (used by undo-log
+// objects; inspectable in tests).
+func (e *Engine) WAL() *wal.Log { return e.log }
+
+// Register creates an object backed by the machine of ty, locked by rel,
+// recovered per kind. Registering a duplicate ID is a programming error.
+func (e *Engine) Register(id history.ObjectID, ty adt.Type, rel commute.Relation, kind RecoveryKind) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.objects[id]; dup {
+		return fmt.Errorf("txn: object %q already registered", id)
+	}
+	var store recovery.Store
+	switch kind {
+	case UndoLogRecovery:
+		store = recovery.NewUndoLog(id, ty.Machine(), e.log)
+	case IntentionsRecovery:
+		store = recovery.NewIntentions(id, ty.Machine())
+	default:
+		return fmt.Errorf("txn: unknown recovery kind %d", int(kind))
+	}
+	mo := &managedObject{
+		id:    id,
+		table: locking.NewTable(rel),
+		store: store,
+		rel:   rel,
+		kind:  kind,
+	}
+	mo.cond = sync.NewCond(&mo.mu)
+	e.objects[id] = mo
+	return nil
+}
+
+// MustRegister is Register for static configuration; it panics on error.
+func (e *Engine) MustRegister(id history.ObjectID, ty adt.Type, rel commute.Relation, kind RecoveryKind) {
+	if err := e.Register(id, ty, rel, kind); err != nil {
+		panic(err)
+	}
+}
+
+// Object returns the recovery store of a registered object (for
+// inspection).
+func (e *Engine) Object(id history.ObjectID) (recovery.Store, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	mo, ok := e.objects[id]
+	if !ok {
+		return nil, false
+	}
+	return mo.store, true
+}
+
+// History returns a copy of the recorded global history.
+func (e *Engine) History() history.History {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.events.Clone()
+}
+
+func (e *Engine) record(ev history.Event) {
+	if !e.opts.RecordHistory {
+		return
+	}
+	e.mu.Lock()
+	e.events = append(e.events, ev)
+	e.mu.Unlock()
+}
+
+// txnState is the lifecycle of a transaction handle.
+type txnState int32
+
+const (
+	active txnState = iota
+	committed
+	aborted
+)
+
+// Txn is a transaction handle. A Txn is used by a single goroutine.
+type Txn struct {
+	id      history.TxnID
+	eng     *Engine
+	state   atomic.Int32
+	touched map[history.ObjectID]bool
+	// order preserves first-touch order for deterministic commit sweeps.
+	order []history.ObjectID
+}
+
+// Begin starts a transaction.
+func (e *Engine) Begin() *Txn {
+	id := history.TxnID(fmt.Sprintf("T%04d", e.seq.Add(1)))
+	e.Metrics.Begins.Add(1)
+	return &Txn{id: id, eng: e, touched: make(map[history.ObjectID]bool)}
+}
+
+// ID returns the transaction identifier.
+func (t *Txn) ID() history.TxnID { return t.id }
+
+// Invoke executes one operation on an object, blocking while conflicting
+// locks are held. On deadlock the transaction is chosen as victim, fully
+// aborted, and an error wrapping both *locking.ErrDeadlock and ErrAborted
+// is returned. On adt.ErrNotEnabled (partial invocation) the transaction
+// stays active and the caller may retry, invoke something else, or abort.
+func (t *Txn) Invoke(obj history.ObjectID, inv spec.Invocation) (spec.Response, error) {
+	if txnState(t.state.Load()) != active {
+		return "", fmt.Errorf("txn %s: invoke %s: %w", t.id, inv, ErrNotActive)
+	}
+	e := t.eng
+	e.mu.Lock()
+	mo, ok := e.objects[obj]
+	e.mu.Unlock()
+	if !ok {
+		return "", fmt.Errorf("txn %s: unknown object %q", t.id, obj)
+	}
+
+	mo.mu.Lock()
+	blocked := false
+	for {
+		res, err := mo.store.Peek(t.id, inv)
+		if err != nil {
+			mo.mu.Unlock()
+			if errors.Is(err, adt.ErrNotEnabled) {
+				e.Metrics.NotEnabled.Add(1)
+				// Nothing was recorded or locked; the transaction stays
+				// active and the caller may retry, do something else, or
+				// abort.
+				return "", fmt.Errorf("txn %s: %s on %s: %w", t.id, inv, obj, err)
+			}
+			return "", fmt.Errorf("txn %s: peek %s on %s: %w", t.id, inv, obj, err)
+		}
+		op := spec.Op(inv, res)
+		holders := mo.table.Conflicting(op, t.id)
+		if len(holders) == 0 {
+			applied, err := mo.store.Apply(t.id, inv)
+			if err != nil {
+				mo.mu.Unlock()
+				return "", fmt.Errorf("txn %s: apply %s on %s: %w", t.id, inv, obj, err)
+			}
+			if applied != res {
+				mo.mu.Unlock()
+				return "", fmt.Errorf("txn %s: response changed under latch: %q vs %q", t.id, res, applied)
+			}
+			mo.table.Add(t.id, op)
+			t.touch(obj)
+			// Record the completed operation under the latch so the global
+			// history preserves the object's true execution order (lock
+			// order: e.mu may nest inside mo.mu, never the reverse).
+			// Invocations are recorded only when they complete, so failed
+			// or retried invocations never leave a dangling pending
+			// invocation in the history.
+			e.record(history.Event{Kind: history.Invoke, Obj: obj, Txn: t.id, Inv: inv})
+			e.record(history.Event{Kind: history.Respond, Obj: obj, Txn: t.id, Res: res})
+			mo.mu.Unlock()
+			e.Metrics.Operations.Add(1)
+			if blocked {
+				e.Metrics.Blocked.Add(1)
+			}
+			return res, nil
+		}
+		// Conflict: declare the wait, check for deadlock, and sleep.
+		if err := e.detector.AddWaits(t.id, holders); err != nil {
+			mo.mu.Unlock()
+			e.Metrics.Deadlocks.Add(1)
+			abortErr := t.Abort()
+			if abortErr != nil && !errors.Is(abortErr, ErrNotActive) {
+				return "", fmt.Errorf("txn %s: deadlock victim abort failed: %w", t.id, abortErr)
+			}
+			return "", fmt.Errorf("txn %s: %w: %w", t.id, err, ErrAborted)
+		}
+		blocked = true
+		e.Metrics.BlockEvents.Add(1)
+		mo.cond.Wait()
+		e.detector.ClearWaits(t.id)
+	}
+}
+
+func (t *Txn) touch(obj history.ObjectID) {
+	if !t.touched[obj] {
+		t.touched[obj] = true
+		t.order = append(t.order, obj)
+	}
+}
+
+// Commit commits the transaction at every touched object using a two-phase
+// sweep: prepare (validate) all objects, then commit and release locks at
+// each. With the single-process engine the prepare phase cannot fail after
+// successful operations, but the structure mirrors the atomic-commitment
+// protocols the paper's model assumes.
+func (t *Txn) Commit() error {
+	if !t.state.CompareAndSwap(int32(active), int32(committed)) {
+		return fmt.Errorf("txn %s: commit: %w", t.id, ErrNotActive)
+	}
+	e := t.eng
+	objs := t.sortedTouched()
+	// Phase 1: prepare — verify every participant is still registered.
+	for _, obj := range objs {
+		e.mu.Lock()
+		_, ok := e.objects[obj]
+		e.mu.Unlock()
+		if !ok {
+			return fmt.Errorf("txn %s: prepare: object %q vanished", t.id, obj)
+		}
+	}
+	// Phase 2: commit at each object, releasing locks.
+	for _, obj := range objs {
+		e.mu.Lock()
+		mo := e.objects[obj]
+		e.mu.Unlock()
+		mo.mu.Lock()
+		if err := mo.store.Commit(t.id); err != nil {
+			mo.mu.Unlock()
+			return fmt.Errorf("txn %s: commit at %s: %w", t.id, obj, err)
+		}
+		mo.table.Release(t.id)
+		e.record(history.Event{Kind: history.Commit, Obj: obj, Txn: t.id})
+		mo.cond.Broadcast()
+		mo.mu.Unlock()
+	}
+	e.detector.ClearWaits(t.id)
+	e.Metrics.Commits.Add(1)
+	return nil
+}
+
+// Abort aborts the transaction at every touched object, undoing its
+// effects per each object's recovery discipline and releasing its locks.
+func (t *Txn) Abort() error {
+	if !t.state.CompareAndSwap(int32(active), int32(aborted)) {
+		return fmt.Errorf("txn %s: abort: %w", t.id, ErrNotActive)
+	}
+	e := t.eng
+	for _, obj := range t.sortedTouched() {
+		e.mu.Lock()
+		mo := e.objects[obj]
+		e.mu.Unlock()
+		mo.mu.Lock()
+		if err := mo.store.Abort(t.id); err != nil {
+			mo.mu.Unlock()
+			return fmt.Errorf("txn %s: abort at %s: %w", t.id, obj, err)
+		}
+		mo.table.Release(t.id)
+		e.record(history.Event{Kind: history.Abort, Obj: obj, Txn: t.id})
+		mo.cond.Broadcast()
+		mo.mu.Unlock()
+	}
+	e.detector.ClearWaits(t.id)
+	e.Metrics.Aborts.Add(1)
+	return nil
+}
+
+func (t *Txn) sortedTouched() []history.ObjectID {
+	objs := append([]history.ObjectID(nil), t.order...)
+	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+	return objs
+}

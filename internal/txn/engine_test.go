@@ -1,0 +1,534 @@
+package txn
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/adt"
+	"repro/internal/atomicity"
+	"repro/internal/commute"
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/locking"
+	"repro/internal/spec"
+)
+
+const acct = history.ObjectID("acct")
+
+// waitUntilBlocked spins until the engine records at least one block event,
+// failing the test after a generous timeout.
+func waitUntilBlocked(t *testing.T, e *Engine) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Metrics.BlockEvents.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("timed out waiting for an operation to block")
+		}
+		runtime.Gosched()
+	}
+}
+
+// verifySpec returns a bank-account window wide enough that no engine run
+// in these tests can escape it; the Legal check is what matters here, and
+// the analytic conflict relations are window-independent.
+func verifySpec() spec.Enumerable {
+	return adt.BankAccount{MaxBalance: 500, Amounts: []int{1, 2, 3}}.Spec()
+}
+
+func newBankEngine(kind RecoveryKind) *Engine {
+	ba := adt.DefaultBankAccount()
+	e := NewEngine(Options{RecordHistory: true})
+	rel := ba.NRBC()
+	if kind == IntentionsRecovery {
+		rel = ba.NFC()
+	}
+	e.MustRegister(acct, ba, rel, kind)
+	return e
+}
+
+func TestSingleTransactionCommit(t *testing.T) {
+	for _, kind := range []RecoveryKind{UndoLogRecovery, IntentionsRecovery} {
+		e := newBankEngine(kind)
+		tx := e.Begin()
+		res, err := tx.Invoke(acct, adt.Deposit(10))
+		if err != nil || res != "ok" {
+			t.Fatalf("%v: deposit: %v %v", kind, res, err)
+		}
+		res, err = tx.Invoke(acct, adt.Withdraw(4))
+		if err != nil || res != "ok" {
+			t.Fatalf("%v: withdraw: %v %v", kind, res, err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("%v: commit: %v", kind, err)
+		}
+		store, _ := e.Object(acct)
+		if got := store.CommittedValue().Encode(); got != "6" {
+			t.Fatalf("%v: committed value = %s, want 6", kind, got)
+		}
+		if err := history.WellFormed(e.History()); err != nil {
+			t.Fatalf("%v: history not well-formed: %v", kind, err)
+		}
+	}
+}
+
+func TestAbortRollsBack(t *testing.T) {
+	for _, kind := range []RecoveryKind{UndoLogRecovery, IntentionsRecovery} {
+		e := newBankEngine(kind)
+		tx := e.Begin()
+		if _, err := tx.Invoke(acct, adt.Deposit(10)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Abort(); err != nil {
+			t.Fatal(err)
+		}
+		store, _ := e.Object(acct)
+		if got := store.CommittedValue().Encode(); got != "0" {
+			t.Fatalf("%v: state after abort = %s, want 0", kind, got)
+		}
+		// Operations after abort fail.
+		if _, err := tx.Invoke(acct, adt.Deposit(1)); !errors.Is(err, ErrNotActive) {
+			t.Fatalf("%v: expected ErrNotActive, got %v", kind, err)
+		}
+		if err := tx.Commit(); !errors.Is(err, ErrNotActive) {
+			t.Fatalf("%v: commit after abort should fail: %v", kind, err)
+		}
+	}
+}
+
+// TestUIPAllowsConcurrentWithdrawals: under undo-log/NRBC two successful
+// withdrawals proceed concurrently; under intentions/NFC the second blocks
+// until the first commits. This is the incomparability made operational.
+func TestUIPAllowsConcurrentWithdrawals(t *testing.T) {
+	e := newBankEngine(UndoLogRecovery)
+	seed := e.Begin()
+	if _, err := seed.Invoke(acct, adt.Deposit(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	t1 := e.Begin()
+	t2 := e.Begin()
+	if _, err := t1.Invoke(acct, adt.Withdraw(3)); err != nil {
+		t.Fatal(err)
+	}
+	// t2's withdrawal must not block: (wok, wok) ∉ NRBC.
+	done := make(chan error, 1)
+	go func() {
+		_, err := t2.Invoke(acct, adt.Withdraw(4))
+		done <- err
+	}()
+	if err := <-done; err != nil {
+		t.Fatalf("concurrent withdrawal blocked or failed under UIP/NRBC: %v", err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	store, _ := e.Object(acct)
+	if got := store.CommittedValue().Encode(); got != "3" {
+		t.Fatalf("balance = %s, want 3", got)
+	}
+	if e.Metrics.Blocked.Load() != 0 {
+		t.Errorf("no operation should have blocked, got %d", e.Metrics.Blocked.Load())
+	}
+}
+
+// TestDUBlocksConcurrentWithdrawals is the DU side: (wok, wok) ∈ NFC, so
+// the second withdrawal waits for the first to commit.
+func TestDUBlocksConcurrentWithdrawals(t *testing.T) {
+	e := newBankEngine(IntentionsRecovery)
+	seed := e.Begin()
+	if _, err := seed.Invoke(acct, adt.Deposit(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	t1 := e.Begin()
+	t2 := e.Begin()
+	if _, err := t1.Invoke(acct, adt.Withdraw(3)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := t2.Invoke(acct, adt.Withdraw(4))
+		done <- err
+	}()
+	// Wait until t2 has genuinely blocked, then release it by committing.
+	waitUntilBlocked(t, e)
+	select {
+	case err := <-done:
+		t.Fatalf("t2 should have blocked, returned %v", err)
+	default:
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("t2 after t1's commit: %v", err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	store, _ := e.Object(acct)
+	if got := store.CommittedValue().Encode(); got != "3" {
+		t.Fatalf("balance = %s, want 3", got)
+	}
+	if e.Metrics.Blocked.Load() == 0 {
+		t.Error("expected the second withdrawal to block at least once")
+	}
+}
+
+// TestDUAllowsWithdrawDuringDeposit is the mirror divergence: under
+// intentions/NFC a withdrawal validated against the committed balance runs
+// while a deposit is uncommitted; under undo-log/NRBC it must wait.
+func TestDUAllowsWithdrawDuringDeposit(t *testing.T) {
+	e := newBankEngine(IntentionsRecovery)
+	seed := e.Begin()
+	if _, err := seed.Invoke(acct, adt.Deposit(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	dep := e.Begin()
+	if _, err := dep.Invoke(acct, adt.Deposit(2)); err != nil {
+		t.Fatal(err)
+	}
+	w := e.Begin()
+	res, err := w.Invoke(acct, adt.Withdraw(3))
+	if err != nil || res != "ok" {
+		t.Fatalf("withdrawal against committed balance should proceed: %v %v", res, err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	store, _ := e.Object(acct)
+	if got := store.CommittedValue().Encode(); got != "4" {
+		t.Fatalf("balance = %s, want 4", got)
+	}
+}
+
+func TestUIPBlocksWithdrawDuringDeposit(t *testing.T) {
+	e := newBankEngine(UndoLogRecovery)
+	seed := e.Begin()
+	if _, err := seed.Invoke(acct, adt.Deposit(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	dep := e.Begin()
+	if _, err := dep.Invoke(acct, adt.Deposit(2)); err != nil {
+		t.Fatal(err)
+	}
+	w := e.Begin()
+	done := make(chan error, 1)
+	go func() {
+		_, err := w.Invoke(acct, adt.Withdraw(3))
+		done <- err
+	}()
+	waitUntilBlocked(t, e)
+	select {
+	case err := <-done:
+		t.Fatalf("withdrawal should block behind uncommitted deposit, returned %v", err)
+	default:
+	}
+	if err := dep.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockDetectionAndVictim(t *testing.T) {
+	// Two KV objects, two transactions locking in opposite order.
+	kv := adt.DefaultKVStore()
+	e := NewEngine(Options{RecordHistory: true})
+	e.MustRegister("X", kv, kv.NFC(), IntentionsRecovery)
+	e.MustRegister("Y", kv, kv.NFC(), IntentionsRecovery)
+	t1 := e.Begin()
+	t2 := e.Begin()
+	if _, err := t1.Invoke("X", adt.Put("x", "0")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.Invoke("Y", adt.Put("x", "1")); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() { defer wg.Done(); _, errs[0] = t1.Invoke("Y", adt.Put("x", "0")) }()
+	go func() { defer wg.Done(); _, errs[1] = t2.Invoke("X", adt.Put("x", "1")) }()
+	wg.Wait()
+	var dl *locking.ErrDeadlock
+	victims := 0
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.As(err, &dl) && errors.Is(err, ErrAborted) {
+			victims++
+		} else {
+			t.Fatalf("errs[%d] = %v (not a deadlock abort)", i, err)
+		}
+	}
+	if victims != 1 {
+		t.Fatalf("expected exactly one deadlock victim, got %d (%v)", victims, errs)
+	}
+	if e.Metrics.Deadlocks.Load() != 1 {
+		t.Errorf("Deadlocks = %d", e.Metrics.Deadlocks.Load())
+	}
+	// The survivor can commit; the victim is already aborted.
+	for i, tx := range []*Txn{t1, t2} {
+		if errs[i] == nil {
+			if err := tx.Commit(); err != nil {
+				t.Fatalf("survivor commit: %v", err)
+			}
+		}
+	}
+	if err := history.WellFormed(e.History()); err != nil {
+		t.Fatalf("history not well-formed: %v", err)
+	}
+}
+
+func TestPartialInvocationSurfaced(t *testing.T) {
+	pool := adt.ResourcePool{Resources: []int{1}}
+	e := NewEngine(Options{RecordHistory: true})
+	e.MustRegister("P", pool, pool.NRBC(), UndoLogRecovery)
+	t1 := e.Begin()
+	if _, err := t1.Invoke("P", adt.Alloc()); err != nil {
+		t.Fatal(err)
+	}
+	t2 := e.Begin()
+	if _, err := t2.Invoke("P", adt.Alloc()); !errors.Is(err, adt.ErrNotEnabled) {
+		t.Fatalf("expected ErrNotEnabled, got %v", err)
+	}
+	// t2 is still active and can retry after t1 aborts.
+	if err := t1.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := t2.Invoke("P", adt.Alloc())
+	if err != nil || res != "1" {
+		t.Fatalf("retry after abort: %v %v", res, err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := history.WellFormed(e.History()); err != nil {
+		t.Fatalf("history not well-formed: %v", err)
+	}
+}
+
+// verifyEngineHistory checks the three-level correctness stack on a
+// recorded engine history: well-formedness, per-object acceptance by the
+// abstract automaton I(X, Spec, View, Conflict), and dynamic atomicity.
+func verifyEngineHistory(t *testing.T, e *Engine, objSpecs map[history.ObjectID]spec.Enumerable, views map[history.ObjectID]core.View, rels map[history.ObjectID]commute.Relation, full bool) {
+	t.Helper()
+	h := e.History()
+	if err := history.WellFormed(h); err != nil {
+		t.Fatalf("history not well-formed: %v\n%s", err, h)
+	}
+	for id, sp := range objSpecs {
+		proj := h.ProjectObj(id)
+		ok, idx, reason := core.Accepts(id, sp, views[id], rels[id], proj)
+		if !ok {
+			t.Fatalf("object %s: engine history rejected by abstract model at event %d: %s\n%s", id, idx, reason, proj)
+		}
+	}
+	specs := atomicity.Specs{}
+	for id, sp := range objSpecs {
+		specs[id] = sp
+	}
+	if full {
+		da, viol, err := atomicity.DynamicAtomic(h, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !da {
+			t.Fatalf("engine history not dynamic atomic: %v\n%s", viol, h)
+		}
+	} else {
+		rng := rand.New(rand.NewSource(99))
+		da, viol, err := atomicity.DynamicAtomicSampled(h, specs, 30, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !da {
+			t.Fatalf("engine history not dynamic atomic (sampled): %v\n%s", viol, h)
+		}
+	}
+}
+
+// TestEngineRefinesModelSmall runs a small deterministic interleaving and
+// verifies the recorded history against the full correctness stack,
+// for both recovery configurations.
+func TestEngineRefinesModelSmall(t *testing.T) {
+	ba := adt.DefaultBankAccount()
+	cases := []struct {
+		kind RecoveryKind
+		view core.View
+	}{
+		{UndoLogRecovery, core.UIP},
+		{IntentionsRecovery, core.DU},
+	}
+	for _, c := range cases {
+		e := newBankEngine(c.kind)
+		seed := e.Begin()
+		if _, err := seed.Invoke(acct, adt.Deposit(6)); err != nil {
+			t.Fatal(err)
+		}
+		if err := seed.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		t1 := e.Begin()
+		t2 := e.Begin()
+		if _, err := t1.Invoke(acct, adt.Withdraw(2)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := t1.Invoke(acct, adt.Balance()); err != nil {
+			t.Fatal(err)
+		}
+		if err := t1.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := t2.Invoke(acct, adt.Withdraw(1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := t2.Abort(); err != nil {
+			t.Fatal(err)
+		}
+		rel := ba.NRBC()
+		if c.kind == IntentionsRecovery {
+			rel = ba.NFC()
+		}
+		verifyEngineHistory(t, e,
+			map[history.ObjectID]spec.Enumerable{acct: verifySpec()},
+			map[history.ObjectID]core.View{acct: c.view},
+			map[history.ObjectID]commute.Relation{acct: rel},
+			true)
+	}
+}
+
+// TestEngineConcurrentStress runs many goroutine transactions against two
+// objects under both recovery disciplines and validates the recorded
+// histories post hoc (sampled dynamic atomicity plus abstract-model
+// acceptance).
+func TestEngineConcurrentStress(t *testing.T) {
+	ba := adt.DefaultBankAccount()
+	st := adt.DefaultIntSet()
+	cases := []struct {
+		kind RecoveryKind
+		view core.View
+	}{
+		{UndoLogRecovery, core.UIP},
+		{IntentionsRecovery, core.DU},
+	}
+	for _, c := range cases {
+		e := NewEngine(Options{RecordHistory: true})
+		baRel := ba.NRBC()
+		stRel := st.NRBC()
+		if c.kind == IntentionsRecovery {
+			baRel = ba.NFC()
+			stRel = st.NFC()
+		}
+		e.MustRegister("acct", ba, baRel, c.kind)
+		e.MustRegister("set", st, stRel, c.kind)
+
+		// Seed balance so withdrawals can succeed.
+		seed := e.Begin()
+		if _, err := seed.Invoke("acct", adt.Deposit(8)); err != nil {
+			t.Fatal(err)
+		}
+		if err := seed.Commit(); err != nil {
+			t.Fatal(err)
+		}
+
+		const workers = 6
+		const txnsPerWorker = 5
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(1000*w) + 7))
+				for i := 0; i < txnsPerWorker; i++ {
+					tx := e.Begin()
+					aborted := false
+					steps := 1 + rng.Intn(3)
+					for s := 0; s < steps; s++ {
+						var err error
+						switch rng.Intn(6) {
+						case 0:
+							_, err = tx.Invoke("acct", adt.Deposit(1+rng.Intn(2)))
+						case 1:
+							_, err = tx.Invoke("acct", adt.Withdraw(1+rng.Intn(2)))
+						case 2:
+							_, err = tx.Invoke("acct", adt.Balance())
+						case 3:
+							_, err = tx.Invoke("set", adt.Insert(1+rng.Intn(3)))
+						case 4:
+							_, err = tx.Invoke("set", adt.Remove(1+rng.Intn(3)))
+						default:
+							_, err = tx.Invoke("set", adt.Member(1+rng.Intn(3)))
+						}
+						if err != nil {
+							// Deadlock victims are already aborted.
+							aborted = true
+							break
+						}
+					}
+					if aborted {
+						continue
+					}
+					if rng.Intn(5) == 0 {
+						_ = tx.Abort()
+					} else if err := tx.Commit(); err != nil {
+						t.Errorf("commit: %v", err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+
+		verifyEngineHistory(t, e,
+			map[history.ObjectID]spec.Enumerable{"acct": verifySpec(), "set": st.Spec()},
+			map[history.ObjectID]core.View{"acct": c.view, "set": c.view},
+			map[history.ObjectID]commute.Relation{"acct": baRel, "set": stRel},
+			false)
+	}
+}
+
+func TestRegisterDuplicate(t *testing.T) {
+	ba := adt.DefaultBankAccount()
+	e := NewEngine(Options{})
+	if err := e.Register("X", ba, ba.NRBC(), UndoLogRecovery); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register("X", ba, ba.NRBC(), UndoLogRecovery); err == nil {
+		t.Error("duplicate registration should fail")
+	}
+}
+
+func TestUnknownObject(t *testing.T) {
+	e := NewEngine(Options{})
+	tx := e.Begin()
+	if _, err := tx.Invoke("nope", adt.Deposit(1)); err == nil {
+		t.Error("unknown object should fail")
+	}
+}

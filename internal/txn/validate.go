@@ -1,0 +1,87 @@
+package txn
+
+import (
+	"fmt"
+
+	"repro/internal/adt"
+	"repro/internal/commute"
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+// MisconfigurationError reports a conflict relation that is insufficient
+// for the chosen recovery method: the theorems of the paper say exactly
+// which pairs are required, and this error carries a missing one.
+type MisconfigurationError struct {
+	Type     string
+	Kind     RecoveryKind
+	Relation string
+	Required string
+	P, Q     spec.Operation
+}
+
+// Error implements error.
+func (e *MisconfigurationError) Error() string {
+	return fmt.Sprintf(
+		"txn: %s with %v requires %s ⊆ Conflict (Theorem %s), but relation %q misses (%s, %s)",
+		e.Type, e.Kind, e.Required, e.theorem(), e.Relation, e.P, e.Q)
+}
+
+func (e *MisconfigurationError) theorem() string {
+	if e.Kind == UndoLogRecovery {
+		return "9"
+	}
+	return "10"
+}
+
+// ValidateRegistration checks rel against the minimal conflict relation the
+// recovery method requires for ty, over the type's window alphabet:
+// NRBC(Spec) for undo-log (update-in-place) recovery, per Theorem 9, and
+// NFC(Spec) for intentions (deferred-update) recovery, per Theorem 10.
+// It returns a *MisconfigurationError naming a missing pair, or nil.
+//
+// The check is exact for the window alphabet; operations outside the
+// window (e.g. very large amounts) rely on the type's relation being
+// closed-form over amounts, which every type in internal/adt guarantees.
+func ValidateRegistration(ty adt.Type, rel commute.Relation, kind RecoveryKind) error {
+	c := checkerFor(ty)
+	required := "NRBC"
+	check := c.RightCommutesBackward
+	if kind == IntentionsRecovery {
+		required = "NFC"
+		check = c.CommuteForward
+	}
+	for _, p := range ty.Spec().Alphabet() {
+		for _, q := range ty.Spec().Alphabet() {
+			if !check(p, q) && !rel.Conflicts(p, q) {
+				return &MisconfigurationError{
+					Type:     ty.Name(),
+					Kind:     kind,
+					Relation: rel.Name(),
+					Required: required,
+					P:        p,
+					Q:        q,
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkerFor builds the checker with the type's α restriction when the
+// type exposes one (the bank account's bounded window).
+func checkerFor(ty adt.Type) *commute.Checker {
+	if ba, ok := ty.(adt.BankAccount); ok {
+		return ba.Checker()
+	}
+	return commute.NewChecker(ty.Spec())
+}
+
+// RegisterValidated is Register preceded by ValidateRegistration: it
+// refuses configurations the paper proves incorrect.
+func (e *Engine) RegisterValidated(id history.ObjectID, ty adt.Type, rel commute.Relation, kind RecoveryKind) error {
+	if err := ValidateRegistration(ty, rel, kind); err != nil {
+		return err
+	}
+	return e.Register(id, ty, rel, kind)
+}

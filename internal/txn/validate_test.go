@@ -1,0 +1,98 @@
+package txn
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/commute"
+	"repro/internal/spec"
+)
+
+// TestValidateCorrectConfigurations: the theorem-minimal pairings and the
+// read/write baseline validate for every type.
+func TestValidateCorrectConfigurations(t *testing.T) {
+	types := []adt.Type{
+		adt.DefaultBankAccount(), adt.DefaultIntSet(), adt.DefaultRegister(),
+		adt.DefaultEscrowCounter(),
+	}
+	for _, ty := range types {
+		if err := ValidateRegistration(ty, ty.NRBC(), UndoLogRecovery); err != nil {
+			t.Errorf("%s: NRBC should validate for undo-log: %v", ty.Name(), err)
+		}
+		if err := ValidateRegistration(ty, ty.NFC(), IntentionsRecovery); err != nil {
+			t.Errorf("%s: NFC should validate for intentions: %v", ty.Name(), err)
+		}
+		if err := ValidateRegistration(ty, ty.RW(), UndoLogRecovery); err != nil {
+			t.Errorf("%s: RW should validate for undo-log: %v", ty.Name(), err)
+		}
+		if err := ValidateRegistration(ty, ty.RW(), IntentionsRecovery); err != nil {
+			t.Errorf("%s: RW should validate for intentions: %v", ty.Name(), err)
+		}
+	}
+}
+
+// TestValidateRejectsCrossedPairings: using each method's minimal relation
+// with the *other* recovery method is exactly the misconfiguration the
+// theorems forbid on the bank account, and validation names a witness pair.
+func TestValidateRejectsCrossedPairings(t *testing.T) {
+	ba := adt.DefaultBankAccount()
+	var mis *MisconfigurationError
+
+	err := ValidateRegistration(ba, ba.NFC(), UndoLogRecovery)
+	if !errors.As(err, &mis) {
+		t.Fatalf("NFC with undo-log must be rejected, got %v", err)
+	}
+	if mis.Required != "NRBC" {
+		t.Errorf("required = %q, want NRBC", mis.Required)
+	}
+	// The missing pair must genuinely be an NRBC pair absent from NFC.
+	if !ba.NRBC().Conflicts(mis.P, mis.Q) || ba.NFC().Conflicts(mis.P, mis.Q) {
+		t.Errorf("witness (%s,%s) is not in NRBC \\ NFC", mis.P, mis.Q)
+	}
+
+	err = ValidateRegistration(ba, ba.NRBC(), IntentionsRecovery)
+	if !errors.As(err, &mis) {
+		t.Fatalf("NRBC with intentions must be rejected, got %v", err)
+	}
+	if mis.Required != "NFC" {
+		t.Errorf("required = %q, want NFC", mis.Required)
+	}
+	if !ba.NFC().Conflicts(mis.P, mis.Q) || ba.NRBC().Conflicts(mis.P, mis.Q) {
+		t.Errorf("witness (%s,%s) is not in NFC \\ NRBC", mis.P, mis.Q)
+	}
+}
+
+// TestValidateRejectsEmptyRelation: no locking at all fails for both
+// methods.
+func TestValidateRejectsEmptyRelation(t *testing.T) {
+	ba := adt.DefaultBankAccount()
+	none := commute.RelationFunc{
+		RelName: "none",
+		F:       func(p, q spec.Operation) bool { return false },
+	}
+	if err := ValidateRegistration(ba, none, UndoLogRecovery); err == nil {
+		t.Error("empty relation must be rejected for undo-log")
+	}
+	if err := ValidateRegistration(ba, none, IntentionsRecovery); err == nil {
+		t.Error("empty relation must be rejected for intentions")
+	}
+}
+
+// TestRegisterValidated wires validation into registration.
+func TestRegisterValidated(t *testing.T) {
+	ba := adt.DefaultBankAccount()
+	e := NewEngine(Options{})
+	if err := e.RegisterValidated("good", ba, ba.NRBC(), UndoLogRecovery); err != nil {
+		t.Fatalf("valid registration rejected: %v", err)
+	}
+	err := e.RegisterValidated("bad", ba, ba.NFC(), UndoLogRecovery)
+	var mis *MisconfigurationError
+	if !errors.As(err, &mis) {
+		t.Fatalf("invalid registration accepted: %v", err)
+	}
+	// The object must not have been registered.
+	if _, ok := e.Object("bad"); ok {
+		t.Error("misconfigured object should not be registered")
+	}
+}

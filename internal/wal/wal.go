@@ -1,0 +1,137 @@
+// Package wal implements a minimal write-ahead log used by the
+// update-in-place recovery manager: an append-only sequence of typed
+// records with monotonically increasing LSNs and per-transaction backward
+// chains, supporting the abort-time backward walk that operation-logging
+// recovery performs.
+//
+// The paper deliberately abstracts recovery to the View function; this
+// package is the executable substrate beneath the UIP abstraction — what
+// System R-style recovery managers actually maintain. Crash recovery is out
+// of scope (as in the paper); the log supports transaction abort only.
+package wal
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+// LSN is a log sequence number. LSNs start at 1; 0 is the nil LSN.
+type LSN uint64
+
+// RecordKind distinguishes log record types.
+type RecordKind int
+
+const (
+	// Update records an executed operation with its undo token.
+	Update RecordKind = iota
+	// CommitRec marks a transaction's commit at this object.
+	CommitRec
+	// AbortRec marks the completion of a transaction's abort (all updates
+	// undone).
+	AbortRec
+	// CompensationRec records the undo of one update during abort
+	// processing (a compensation log record, in ARIES terminology).
+	CompensationRec
+)
+
+// String implements fmt.Stringer.
+func (k RecordKind) String() string {
+	switch k {
+	case Update:
+		return "update"
+	case CommitRec:
+		return "commit"
+	case AbortRec:
+		return "abort"
+	case CompensationRec:
+		return "clr"
+	}
+	return fmt.Sprintf("RecordKind(%d)", int(k))
+}
+
+// Record is one log record.
+type Record struct {
+	LSN     LSN
+	Kind    RecordKind
+	Txn     history.TxnID
+	Obj     history.ObjectID
+	Op      spec.Operation
+	PrevLSN LSN // previous record of the same transaction (0 if first)
+	// Undo is the opaque undo token captured before applying the operation
+	// (nil when the machine's logical inverse needs no token).
+	Undo any
+}
+
+// Log is an append-only in-memory log. It is safe for concurrent use.
+type Log struct {
+	mu      sync.Mutex
+	records []Record
+	lastOf  map[history.TxnID]LSN
+}
+
+// New builds an empty log.
+func New() *Log {
+	return &Log{lastOf: make(map[history.TxnID]LSN)}
+}
+
+// Append writes a record, assigning its LSN and chaining it to the
+// transaction's previous record. The assigned LSN is returned.
+func (l *Log) Append(r Record) LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r.LSN = LSN(len(l.records) + 1)
+	r.PrevLSN = l.lastOf[r.Txn]
+	l.lastOf[r.Txn] = r.LSN
+	l.records = append(l.records, r)
+	return r.LSN
+}
+
+// Get returns the record at the LSN.
+func (l *Log) Get(lsn LSN) (Record, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if lsn == 0 || int(lsn) > len(l.records) {
+		return Record{}, false
+	}
+	return l.records[lsn-1], true
+}
+
+// LastLSN returns the most recent LSN written for txn (0 if none).
+func (l *Log) LastLSN(txn history.TxnID) LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastOf[txn]
+}
+
+// Len returns the number of records.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.records)
+}
+
+// TxnChain returns txn's records newest-first, following PrevLSN — the
+// traversal abort processing performs.
+func (l *Log) TxnChain(txn history.TxnID) []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Record
+	lsn := l.lastOf[txn]
+	for lsn != 0 {
+		r := l.records[lsn-1]
+		out = append(out, r)
+		lsn = r.PrevLSN
+	}
+	return out
+}
+
+// Snapshot returns a copy of all records in LSN order (diagnostics,
+// tests).
+func (l *Log) Snapshot() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Record(nil), l.records...)
+}

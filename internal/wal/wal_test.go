@@ -1,0 +1,105 @@
+package wal
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/history"
+)
+
+func TestAppendAssignsMonotonicLSNs(t *testing.T) {
+	l := New()
+	a := l.Append(Record{Kind: Update, Txn: "A", Obj: "X", Op: adt.DepositOk(1)})
+	b := l.Append(Record{Kind: Update, Txn: "A", Obj: "X", Op: adt.DepositOk(2)})
+	if a != 1 || b != 2 {
+		t.Fatalf("LSNs = %d, %d", a, b)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+func TestTxnChainNewestFirst(t *testing.T) {
+	l := New()
+	l.Append(Record{Kind: Update, Txn: "A", Obj: "X", Op: adt.DepositOk(1)})
+	l.Append(Record{Kind: Update, Txn: "B", Obj: "X", Op: adt.DepositOk(9)})
+	l.Append(Record{Kind: Update, Txn: "A", Obj: "X", Op: adt.DepositOk(2)})
+	l.Append(Record{Kind: Update, Txn: "A", Obj: "Y", Op: adt.DepositOk(3)})
+	chain := l.TxnChain("A")
+	if len(chain) != 3 {
+		t.Fatalf("chain length = %d", len(chain))
+	}
+	if chain[0].Op != adt.DepositOk(3) || chain[1].Op != adt.DepositOk(2) || chain[2].Op != adt.DepositOk(1) {
+		t.Fatalf("chain order wrong: %v", chain)
+	}
+	if chain[2].PrevLSN != 0 {
+		t.Errorf("first record PrevLSN = %d, want 0", chain[2].PrevLSN)
+	}
+}
+
+func TestGetAndLastLSN(t *testing.T) {
+	l := New()
+	if _, ok := l.Get(1); ok {
+		t.Error("Get on empty log should fail")
+	}
+	if l.LastLSN("A") != 0 {
+		t.Error("LastLSN of unknown txn should be 0")
+	}
+	lsn := l.Append(Record{Kind: CommitRec, Txn: "A", Obj: "X"})
+	r, ok := l.Get(lsn)
+	if !ok || r.Kind != CommitRec || r.Txn != "A" {
+		t.Fatalf("Get = %v, %v", r, ok)
+	}
+	if l.LastLSN("A") != lsn {
+		t.Errorf("LastLSN = %d", l.LastLSN("A"))
+	}
+	if _, ok := l.Get(0); ok {
+		t.Error("Get(0) must fail (nil LSN)")
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	l := New()
+	const n = 50
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			txn := history.TxnID(rune('A' + g))
+			for i := 0; i < n; i++ {
+				l.Append(Record{Kind: Update, Txn: txn, Obj: "X", Op: adt.DepositOk(1)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if l.Len() != 4*n {
+		t.Fatalf("Len = %d, want %d", l.Len(), 4*n)
+	}
+	// LSNs are dense and unique; every chain has n records.
+	seen := make(map[LSN]bool)
+	for _, r := range l.Snapshot() {
+		if seen[r.LSN] {
+			t.Fatalf("duplicate LSN %d", r.LSN)
+		}
+		seen[r.LSN] = true
+	}
+	for g := 0; g < 4; g++ {
+		txn := history.TxnID(rune('A' + g))
+		if got := len(l.TxnChain(txn)); got != n {
+			t.Errorf("chain(%s) = %d, want %d", txn, got, n)
+		}
+	}
+}
+
+func TestRecordKindString(t *testing.T) {
+	kinds := map[RecordKind]string{
+		Update: "update", CommitRec: "commit", AbortRec: "abort", CompensationRec: "clr",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
