@@ -13,7 +13,19 @@
 // recovery manager realizing UIP, and an intentions-list recovery manager
 // realizing DU.
 //
+// The engine is built to scale with cores while staying auditable: the
+// object registry is striped over a power-of-two shard array (object
+// lookup is a hash, no engine-wide lock on the operation path), each shard
+// records events into its own buffer stamped from one global atomic
+// sequence, and Engine.History() merges the buffers back into the single
+// totally ordered history the checkers replay. The write-ahead log is
+// group-committed: updates stage into per-transaction-stripe buffers and
+// commit-time flushes assign contiguous LSN ranges per batch. See
+// internal/txn, internal/history, and internal/wal.
+//
 // The benchmarks in bench_test.go regenerate every table and figure of the
-// paper; see DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper plus the engine scaling sweep (shards × GOMAXPROCS); `ccbench
+// -experiment scaling -json` writes the sweep to BENCH_engine.json. See
+// DESIGN.md for the system inventory and EXPERIMENTS.md for
 // paper-vs-measured results.
 package repro

@@ -18,6 +18,7 @@ import (
 	"repro/internal/commute"
 	"repro/internal/history"
 	"repro/internal/spec"
+	"repro/internal/stripe"
 )
 
 // Table tracks the operation locks held at one object under a conflict
@@ -94,50 +95,101 @@ func (e *ErrDeadlock) Error() string {
 	return fmt.Sprintf("locking: deadlock: victim %s, cycle %v", e.Victim, e.Cycle)
 }
 
-// Detector is a global waits-for deadlock detector shared by all objects of
-// an engine. It is safe for concurrent use.
+// Detector is a global waits-for deadlock detector shared by all objects
+// of an engine. It is safe for concurrent use. The edge store is striped by
+// waiter so that the per-shard engine hot path (declare a wait, clear waits
+// on wake and at commit/abort) touches only one stripe lock; cycle
+// detection — the rare path — holds every stripe lock (acquired in index
+// order) and runs the DFS over the live maps, so it sees one instantaneous
+// cut of the graph and exactly one victim is chosen per cycle, just as
+// with a single-lock detector.
 type Detector struct {
+	stripes []*detectorStripe
+	mask    uint32
+}
+
+type detectorStripe struct {
 	mu    sync.Mutex
 	waits map[history.TxnID]map[history.TxnID]bool
 }
 
-// NewDetector builds an empty detector.
-func NewDetector() *Detector {
-	return &Detector{waits: make(map[history.TxnID]map[history.TxnID]bool)}
+// defaultDetectorStripes balances stripe-lock spread against snapshot cost.
+const defaultDetectorStripes = 8
+
+// NewDetector builds an empty detector with the default stripe count.
+func NewDetector() *Detector { return NewDetectorStriped(defaultDetectorStripes) }
+
+// NewDetectorStriped builds an empty detector with n stripes (rounded up
+// to a power of two, at least 1).
+func NewDetectorStriped(n int) *Detector {
+	p := stripe.RoundPow2(n, stripe.MaxStripes)
+	d := &Detector{stripes: make([]*detectorStripe, p), mask: uint32(p - 1)}
+	for i := range d.stripes {
+		d.stripes[i] = &detectorStripe{waits: make(map[history.TxnID]map[history.TxnID]bool)}
+	}
+	return d
+}
+
+func (d *Detector) stripeOf(t history.TxnID) *detectorStripe {
+	return d.stripes[stripe.FNV32a(string(t))&d.mask]
 }
 
 // AddWaits records that waiter is blocked on holders and checks for a
 // cycle. If the new edges close a cycle, the edges are rolled back and an
 // *ErrDeadlock naming waiter as victim is returned.
 func (d *Detector) AddWaits(waiter history.TxnID, holders []history.TxnID) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	m := d.waits[waiter]
+	st := d.stripeOf(waiter)
+	st.mu.Lock()
+	m := st.waits[waiter]
 	if m == nil {
 		m = make(map[history.TxnID]bool)
-		d.waits[waiter] = m
+		st.waits[waiter] = m
 	}
 	for _, h := range holders {
 		m[h] = true
 	}
-	if cycle := d.findCycleFrom(waiter); cycle != nil {
-		delete(d.waits, waiter)
+	st.mu.Unlock()
+	// Detection under every stripe lock, acquired in index order (the
+	// single-stripe paths take only one lock, so no ordering cycle). The
+	// DFS therefore sees one instantaneous cut of the live graph — locking
+	// stripes one at a time could assemble a phantom cycle from edges that
+	// never overlapped in time and abort an innocent victim — and victim
+	// edge removal is atomic with detection, so a racing detection cannot
+	// see the already-broken cycle and pick a second victim.
+	for _, s := range d.stripes {
+		s.mu.Lock()
+	}
+	cycle := findCycleFrom(d.edgesLocked, waiter)
+	if cycle != nil {
+		delete(st.waits, waiter)
+	}
+	for _, s := range d.stripes {
+		s.mu.Unlock()
+	}
+	if cycle != nil {
 		return &ErrDeadlock{Victim: waiter, Cycle: cycle}
 	}
 	return nil
 }
 
-// ClearWaits removes all outgoing edges of waiter (called after it wakes or
-// aborts).
-func (d *Detector) ClearWaits(waiter history.TxnID) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	delete(d.waits, waiter)
+// edgesLocked returns the live outgoing-edge set of t. Caller holds every
+// stripe lock.
+func (d *Detector) edgesLocked(t history.TxnID) map[history.TxnID]bool {
+	return d.stripeOf(t).waits[t]
 }
 
-// findCycleFrom performs a DFS from start and returns a cycle through start
-// if one exists. Caller holds d.mu.
-func (d *Detector) findCycleFrom(start history.TxnID) []history.TxnID {
+// ClearWaits removes all outgoing edges of waiter (called after it wakes or
+// aborts). Touches only the waiter's stripe.
+func (d *Detector) ClearWaits(waiter history.TxnID) {
+	st := d.stripeOf(waiter)
+	st.mu.Lock()
+	delete(st.waits, waiter)
+	st.mu.Unlock()
+}
+
+// findCycleFrom performs a DFS from start over the graph exposed by edges
+// and returns a cycle through start if one exists.
+func findCycleFrom(edges func(history.TxnID) map[history.TxnID]bool, start history.TxnID) []history.TxnID {
 	var path []history.TxnID
 	onPath := make(map[history.TxnID]bool)
 	visited := make(map[history.TxnID]bool)
@@ -153,8 +205,9 @@ func (d *Detector) findCycleFrom(start history.TxnID) []history.TxnID {
 		onPath[t] = true
 		path = append(path, t)
 		// Deterministic iteration for reproducible cycles.
-		next := make([]history.TxnID, 0, len(d.waits[t]))
-		for n := range d.waits[t] {
+		out := edges(t)
+		next := make([]history.TxnID, 0, len(out))
+		for n := range out {
 			next = append(next, n)
 		}
 		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
@@ -176,7 +229,11 @@ func (d *Detector) findCycleFrom(start history.TxnID) []history.TxnID {
 // WaitCount returns the number of transactions currently waiting
 // (diagnostics).
 func (d *Detector) WaitCount() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return len(d.waits)
+	n := 0
+	for _, st := range d.stripes {
+		st.mu.Lock()
+		n += len(st.waits)
+		st.mu.Unlock()
+	}
+	return n
 }

@@ -2,6 +2,8 @@ package locking
 
 import (
 	"errors"
+	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/adt"
@@ -162,5 +164,64 @@ func TestAsymmetricRelationNoFalseDeadlock(t *testing.T) {
 	hB := tab.Conflicting(adt.WithdrawOk(1), "B")
 	if err := d.AddWaits("B", hB); err == nil {
 		t.Fatal("expected deadlock: mutual withdraw-after-deposit")
+	}
+}
+
+// TestDetectorStripedConcurrency hammers a striped detector from many
+// goroutines with disjoint wait edges (no cycles): every add/clear must
+// stay on its stripe without races, and the count drains to zero.
+func TestDetectorStripedConcurrency(t *testing.T) {
+	d := NewDetectorStriped(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			waiter := history.TxnID(fmt.Sprintf("W%02d", g))
+			holder := history.TxnID(fmt.Sprintf("H%02d", g))
+			for i := 0; i < 200; i++ {
+				if err := d.AddWaits(waiter, []history.TxnID{holder}); err != nil {
+					t.Errorf("unexpected deadlock: %v", err)
+					return
+				}
+				d.ClearWaits(waiter)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := d.WaitCount(); n != 0 {
+		t.Errorf("WaitCount = %d after drain", n)
+	}
+}
+
+// TestDetectorStripedSingleVictim: with edges crossing stripes, closing a
+// cycle still yields exactly one victim even when both closers race.
+func TestDetectorStripedSingleVictim(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		d := NewDetectorStriped(8)
+		var wg sync.WaitGroup
+		errs := make([]error, 2)
+		wg.Add(2)
+		go func() { defer wg.Done(); errs[0] = d.AddWaits("A", []history.TxnID{"B"}) }()
+		go func() { defer wg.Done(); errs[1] = d.AddWaits("B", []history.TxnID{"A"}) }()
+		wg.Wait()
+		victims := 0
+		for _, err := range errs {
+			if err != nil {
+				var dl *ErrDeadlock
+				if !errors.As(err, &dl) {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				victims++
+			}
+		}
+		// Both edges present means the cycle existed; the serialized check
+		// must have broken it by removing exactly one waiter's edges.
+		if victims > 1 {
+			t.Fatalf("trial %d: %d victims for one cycle", trial, victims)
+		}
+		if victims == 1 && d.WaitCount() != 1 {
+			t.Fatalf("trial %d: victim edges not removed, count=%d", trial, d.WaitCount())
+		}
 	}
 }

@@ -2,8 +2,9 @@
 // abstractions the paper studies (Section 5):
 //
 //   - UndoLog: update-in-place. A single current state is updated as
-//     operations execute; each update logs an operation-level undo record
-//     to a write-ahead log, and abort walks the transaction's chain
+//     operations execute; each update stages an operation-level undo record
+//     into the group-committed write-ahead log (sequenced at the engine's
+//     commit-time flush), and abort walks the transaction's chain
 //     backward applying logical inverses. Operation (logical) undo — not
 //     before-image restoration of the whole object — is what lets
 //     update-in-place coexist with concurrent updates, the very point the
@@ -112,7 +113,7 @@ func (u *UndoLog) Apply(txn history.TxnID, inv spec.Invocation) (spec.Response, 
 	u.current = next
 	op := spec.Op(inv, res)
 	u.chain[txn] = append(u.chain[txn], undoRec{op: op, before: before})
-	u.log.Append(wal.Record{Kind: wal.Update, Txn: txn, Obj: u.obj, Op: op, Undo: before})
+	u.log.AppendAsync(wal.Record{Kind: wal.Update, Txn: txn, Obj: u.obj, Op: op, Undo: before})
 	u.stats.Applies++
 	return res, nil
 }
@@ -121,7 +122,7 @@ func (u *UndoLog) Apply(txn history.TxnID, inv spec.Invocation) (spec.Response, 
 // undo chain and log the commit.
 func (u *UndoLog) Commit(txn history.TxnID) error {
 	delete(u.chain, txn)
-	u.log.Append(wal.Record{Kind: wal.CommitRec, Txn: txn, Obj: u.obj})
+	u.log.AppendAsync(wal.Record{Kind: wal.CommitRec, Txn: txn, Obj: u.obj})
 	return nil
 }
 
@@ -142,11 +143,11 @@ func (u *UndoLog) Abort(txn history.TxnID) error {
 			return fmt.Errorf("recovery: undo %s for %s: %w", r.op, txn, err)
 		}
 		u.current = next
-		u.log.Append(wal.Record{Kind: wal.CompensationRec, Txn: txn, Obj: u.obj, Op: r.op})
+		u.log.AppendAsync(wal.Record{Kind: wal.CompensationRec, Txn: txn, Obj: u.obj, Op: r.op})
 		u.stats.Undos++
 	}
 	delete(u.chain, txn)
-	u.log.Append(wal.Record{Kind: wal.AbortRec, Txn: txn, Obj: u.obj})
+	u.log.AppendAsync(wal.Record{Kind: wal.AbortRec, Txn: txn, Obj: u.obj})
 	return nil
 }
 

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/adt"
@@ -44,16 +46,23 @@ type BankingConfig struct {
 	Record bool
 }
 
-// spinSink defeats dead-code elimination of the think-time loop.
-var spinSink uint64
+// spinSink defeats dead-code elimination of the think-time loop. Workers
+// on every goroutine fold into it, so the add must be atomic.
+var spinSink atomic.Uint64
 
-// think burns ~n loop iterations of CPU.
+// think burns ~n loop iterations of CPU, yielding to the scheduler every
+// few hundred iterations so that lock-hold windows overlap even at
+// GOMAXPROCS=1 — without the yields, a worker on a single P runs whole
+// transactions between preemption points and contention is never observed.
 func think(n int) {
 	var acc uint64 = 1469598103934665603
 	for i := 0; i < n; i++ {
 		acc = (acc ^ uint64(i)) * 1099511628211
+		if i&255 == 255 {
+			runtime.Gosched()
+		}
 	}
-	spinSink += acc
+	spinSink.Add(acc)
 }
 
 // DefaultBankingConfig is the balanced mix on a 4-account hot spot.

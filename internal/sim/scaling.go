@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/adt"
+	"repro/internal/history"
+	"repro/internal/txn"
+)
+
+// ScalingConfig parameterizes the multi-object contention workload used to
+// measure how engine throughput scales with shard count and GOMAXPROCS.
+// Unlike the banking hot spot, the object set is wide (low per-object
+// conflict probability), so the measured ceiling is the harness itself —
+// registry lookup, history recording, WAL sequencing — not the conflict
+// relation. This is the workload that demonstrates the sharded registry:
+// with one shard it degenerates to the seed's single-mutex design.
+type ScalingConfig struct {
+	// Objects is the number of bank-account objects (the working set).
+	Objects int
+	// Workers is the number of concurrent client goroutines.
+	Workers int
+	// TxnsPerWorker is the number of transactions each worker runs.
+	TxnsPerWorker int
+	// OpsPerTxn is the number of operations per transaction, each on a
+	// uniformly random object.
+	OpsPerTxn int
+	// DepositPct and WithdrawPct set the operation mix (percent); the
+	// remainder are balance reads.
+	DepositPct  int
+	WithdrawPct int
+	// AbortPct aborts the transaction voluntarily after its operations,
+	// exercising the undo path under concurrency.
+	AbortPct int
+	// InitialBalance seeds every account.
+	InitialBalance int
+	// Shards is passed to txn.Options (0 = engine default).
+	Shards int
+	// Seed makes the workload deterministic in structure.
+	Seed int64
+	// Record enables history recording (verification runs only; recording
+	// is part of the harness cost being measured when enabled).
+	Record bool
+}
+
+// DefaultScalingConfig is 64 objects under 8 workers, mixed ops, 5% aborts.
+func DefaultScalingConfig() ScalingConfig {
+	return ScalingConfig{
+		Objects:        64,
+		Workers:        8,
+		TxnsPerWorker:  300,
+		OpsPerTxn:      4,
+		DepositPct:     40,
+		WithdrawPct:    40,
+		AbortPct:       5,
+		InitialBalance: 1_000_000,
+		Seed:           1,
+	}
+}
+
+func scalingObjID(i int) history.ObjectID {
+	return history.ObjectID(fmt.Sprintf("obj%03d", i))
+}
+
+// ScalingPoint is one measured point of the shard/GOMAXPROCS sweep.
+type ScalingPoint struct {
+	Scheduler  string  `json:"scheduler"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Shards     int     `json:"shards"`
+	Objects    int     `json:"objects"`
+	Workers    int     `json:"workers"`
+	Commits    int64   `json:"commits"`
+	Aborts     int64   `json:"aborts"`
+	Deadlocks  int64   `json:"deadlocks"`
+	Operations int64   `json:"operations"`
+	Blocked    int64   `json:"blocked"`
+	WALBatches int64   `json:"wal_batches"`
+	WALRecords int64   `json:"wal_records"`
+	ElapsedNS  int64   `json:"elapsed_ns"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	TxnPerSec  float64 `json:"txn_per_sec"`
+}
+
+// RunScaling executes the wide-object workload under the scheduler and
+// returns the measured point (plus the engine, for verification in tests).
+func RunScaling(s Scheduler, cfg ScalingConfig) (ScalingPoint, *txn.Engine) {
+	ba := adt.BankAccount{
+		InitialBalance: cfg.InitialBalance,
+		MaxBalance:     12,
+		Amounts:        []int{1, 2, 3},
+	}
+	rel := bankRelation(s, adt.DefaultBankAccount())
+	e := txn.NewEngine(txn.Options{RecordHistory: cfg.Record, Shards: cfg.Shards})
+	for i := 0; i < cfg.Objects; i++ {
+		e.MustRegister(scalingObjID(i), ba, rel, s.Kind())
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*104729))
+			for i := 0; i < cfg.TxnsPerWorker; i++ {
+				tx := e.Begin()
+				failed := false
+				for op := 0; op < cfg.OpsPerTxn; op++ {
+					obj := scalingObjID(rng.Intn(cfg.Objects))
+					amount := 1 + rng.Intn(3)
+					var err error
+					switch pick := rng.Intn(100); {
+					case pick < cfg.DepositPct:
+						_, err = tx.Invoke(obj, adt.Deposit(amount))
+					case pick < cfg.DepositPct+cfg.WithdrawPct:
+						_, err = tx.Invoke(obj, adt.Withdraw(amount))
+					default:
+						_, err = tx.Invoke(obj, adt.Balance())
+					}
+					if err != nil {
+						if !errors.Is(err, txn.ErrAborted) {
+							_ = tx.Abort()
+						}
+						failed = true
+						break
+					}
+				}
+				if failed {
+					continue
+				}
+				if cfg.AbortPct > 0 && rng.Intn(100) < cfg.AbortPct {
+					_ = tx.Abort()
+					continue
+				}
+				_ = tx.Commit()
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	p := ScalingPoint{
+		Scheduler:  s.String(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Shards:     e.Shards(),
+		Objects:    cfg.Objects,
+		Workers:    cfg.Workers,
+		Commits:    e.Metrics.Commits.Load(),
+		Aborts:     e.Metrics.Aborts.Load(),
+		Deadlocks:  e.Metrics.Deadlocks.Load(),
+		Operations: e.Metrics.Operations.Load(),
+		Blocked:    e.Metrics.Blocked.Load(),
+		WALBatches: e.WAL().Flushes(),
+		WALRecords: e.WAL().FlushedRecords(),
+		ElapsedNS:  elapsed.Nanoseconds(),
+	}
+	if elapsed > 0 {
+		p.OpsPerSec = float64(p.Operations) / elapsed.Seconds()
+		p.TxnPerSec = float64(p.Commits) / elapsed.Seconds()
+	}
+	return p, e
+}
+
+// ScalingSweep measures the workload at each shard count, holding the rest
+// of the configuration fixed — the regenerable scaling-curve artifact.
+func ScalingSweep(s Scheduler, cfg ScalingConfig, shardCounts []int) []ScalingPoint {
+	out := make([]ScalingPoint, 0, len(shardCounts))
+	for _, n := range shardCounts {
+		c := cfg
+		c.Shards = n
+		p, _ := RunScaling(s, c)
+		out = append(out, p)
+	}
+	return out
+}
+
+// RenderScalingTable renders sweep points as a fixed-width table.
+func RenderScalingTable(title string, points []ScalingPoint) string {
+	b := fmt.Sprintf("%s\n%-12s %6s %7s %8s %8s %8s %12s %12s\n",
+		title, "scheduler", "procs", "shards", "commits", "aborts", "blocked", "ops/s", "txn/s")
+	for _, p := range points {
+		b += fmt.Sprintf("%-12s %6d %7d %8d %8d %8d %12.0f %12.0f\n",
+			p.Scheduler, p.GOMAXPROCS, p.Shards, p.Commits, p.Aborts, p.Blocked, p.OpsPerSec, p.TxnPerSec)
+	}
+	return b
+}

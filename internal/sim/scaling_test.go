@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/atomicity"
+	"repro/internal/core"
+	"repro/internal/histfile"
+	"repro/internal/history"
+	"repro/internal/spec"
+	"repro/internal/txn"
+)
+
+// TestScalingWorkloadCorrect runs the wide-object workload recorded on a
+// many-shard engine and verifies the merged history end to end.
+func TestScalingWorkloadCorrect(t *testing.T) {
+	cfg := ScalingConfig{
+		Objects: 16, Workers: 4, TxnsPerWorker: 6, OpsPerTxn: 3,
+		DepositPct: 40, WithdrawPct: 40, AbortPct: 10,
+		InitialBalance: 1000, Shards: 8, Seed: 3, Record: true,
+	}
+	for _, s := range []Scheduler{UIPNRBC, DUNFC} {
+		p, e := RunScaling(s, cfg)
+		if p.Shards != 8 {
+			t.Fatalf("%s: engine ran with %d shards, want 8", s, p.Shards)
+		}
+		if p.Commits == 0 {
+			t.Fatalf("%s: no commits", s)
+		}
+		if p.Commits+p.Aborts != e.Metrics.Begins.Load() {
+			t.Fatalf("%s: conservation violated: %d+%d != %d", s, p.Commits, p.Aborts, e.Metrics.Begins.Load())
+		}
+		h := e.History()
+		if err := history.WellFormed(h); err != nil {
+			t.Fatalf("%s: merged history malformed: %v", s, err)
+		}
+		wide := adt.BankAccount{InitialBalance: cfg.InitialBalance, MaxBalance: 1 << 20, Amounts: []int{1, 2, 3}}
+		sp := wide.Spec()
+		specs := atomicity.Specs{}
+		for _, obj := range h.Objects() {
+			specs[obj] = sp
+		}
+		rng := rand.New(rand.NewSource(11))
+		da, viol, err := atomicity.DynamicAtomicSampled(h, specs, 5, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if !da {
+			t.Fatalf("%s: history not dynamic atomic: %v", s, viol)
+		}
+		if s == UIPNRBC && p.WALRecords == 0 {
+			t.Errorf("undo-log run should have sequenced WAL records")
+		}
+	}
+}
+
+// TestScalingHistfileRoundTrip: the merged history of a sharded recorded
+// run survives the histfile render/parse round trip and still verifies —
+// the same pipeline cmd/histcheck runs on saved traces. Set
+// SCALING_HIST_OUT to additionally write the rendered file to disk for a
+// manual `histcheck` run.
+func TestScalingHistfileRoundTrip(t *testing.T) {
+	cfg := ScalingConfig{
+		Objects: 8, Workers: 4, TxnsPerWorker: 5, OpsPerTxn: 3,
+		DepositPct: 40, WithdrawPct: 40, AbortPct: 10,
+		InitialBalance: 1000, Shards: 8, Seed: 3, Record: true,
+	}
+	_, e := RunScaling(UIPNRBC, cfg)
+	h := e.History()
+	wide := adt.BankAccount{InitialBalance: cfg.InitialBalance, MaxBalance: 1 << 20, Amounts: []int{1, 2, 3}}
+	sp := wide.Spec()
+	f := &histfile.File{Specs: atomicity.Specs{}, H: h}
+	names := map[history.ObjectID]string{}
+	for _, obj := range h.Objects() {
+		f.Specs[obj] = sp
+		names[obj] = "bank-account"
+	}
+	var buf bytes.Buffer
+	if err := histfile.Render(&buf, f, names); err != nil {
+		t.Fatal(err)
+	}
+	if path := os.Getenv("SCALING_HIST_OUT"); path != "" {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+	}
+	parsed, err := histfile.Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.H) != len(h) {
+		t.Fatalf("round trip lost events: %d vs %d", len(parsed.H), len(h))
+	}
+	if err := history.WellFormed(parsed.H); err != nil {
+		t.Fatalf("parsed history malformed: %v", err)
+	}
+	// The atomicity check replays against the in-code wide specs: the file
+	// format resolves "bank-account" to the default window (initial balance
+	// 0), which cannot describe a workload seeded at 1000.
+	rng := rand.New(rand.NewSource(23))
+	da, viol, err := atomicity.DynamicAtomicSampled(parsed.H, specsFor(parsed.H, sp), 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !da {
+		t.Fatalf("parsed history not dynamic atomic: %v", viol)
+	}
+}
+
+func specsFor(h history.History, sp spec.Enumerable) atomicity.Specs {
+	out := atomicity.Specs{}
+	for _, obj := range h.Objects() {
+		out[obj] = sp
+	}
+	return out
+}
+
+// TestShardedTraceHistcheckPipeline drives a small deterministic workload
+// on an 8-shard engine that stays inside the default bank-account window,
+// saves the merged history through histfile, and re-checks the parsed file
+// with exactly the pipeline cmd/histcheck runs: well-formedness, full
+// atomicity, full dynamic atomicity, and per-object acceptance by
+// I(X, Spec, UIP, NRBC). Set SCALING_HIST_OUT to dump the file for a
+// manual `histcheck -view uip` run.
+func TestShardedTraceHistcheckPipeline(t *testing.T) {
+	ba := adt.DefaultBankAccount() // initial balance 0, window 0..12
+	e := txn.NewEngine(txn.Options{RecordHistory: true, Shards: 8})
+	objs := []history.ObjectID{"A", "B", "C"}
+	for _, id := range objs {
+		e.MustRegister(id, ba, ba.NRBC(), txn.UndoLogRecovery)
+	}
+	t1, t2 := e.Begin(), e.Begin()
+	mustInvoke(t, t1, "A", adt.Deposit(5))
+	mustInvoke(t, t2, "B", adt.Deposit(3))
+	mustInvoke(t, t1, "A", adt.Withdraw(2))
+	mustInvoke(t, t2, "C", adt.Deposit(2))
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	t3 := e.Begin()
+	mustInvoke(t, t3, "A", adt.Deposit(1))
+	mustInvoke(t, t3, "B", adt.Balance())
+	if err := t3.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	t4 := e.Begin()
+	mustInvoke(t, t4, "C", adt.Withdraw(1))
+	if err := t4.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	h := e.History()
+	f := &histfile.File{Specs: specsFor(h, ba.Spec()), H: h}
+	names := map[history.ObjectID]string{}
+	for _, obj := range h.Objects() {
+		names[obj] = "bank-account"
+	}
+	var buf bytes.Buffer
+	if err := histfile.Render(&buf, f, names); err != nil {
+		t.Fatal(err)
+	}
+	if path := os.Getenv("SCALING_HIST_OUT"); path != "" {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+	}
+	parsed, err := histfile.Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := history.WellFormed(parsed.H); err != nil {
+		t.Fatalf("well-formed: %v", err)
+	}
+	atomic, err := atomicity.Atomic(parsed.H, parsed.Specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !atomic {
+		t.Fatal("parsed trace not atomic")
+	}
+	da, viol, err := atomicity.DynamicAtomic(parsed.H, parsed.Specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !da {
+		t.Fatalf("parsed trace not dynamic atomic: %v", viol)
+	}
+	for _, x := range parsed.H.Objects() {
+		ty := parsed.Types[x]
+		ok, idx, reason := core.Accepts(x, parsed.Specs[x], core.UIP, ty.NRBC(), parsed.H.ProjectObj(x))
+		if !ok {
+			t.Fatalf("I(%s,Spec,UIP,NRBC) rejects at %d: %s", x, idx, reason)
+		}
+	}
+}
+
+func mustInvoke(t *testing.T, tx *txn.Txn, obj history.ObjectID, inv spec.Invocation) {
+	t.Helper()
+	if _, err := tx.Invoke(obj, inv); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScalingSweepShape: the sweep produces one point per shard count with
+// the normalized shard value recorded, and every point conserves work.
+func TestScalingSweepShape(t *testing.T) {
+	cfg := DefaultScalingConfig()
+	cfg.TxnsPerWorker = 20
+	pts := ScalingSweep(UIPNRBC, cfg, []int{1, 2, 4})
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	wantShards := []int{1, 2, 4}
+	for i, p := range pts {
+		if p.Shards != wantShards[i] {
+			t.Errorf("point %d: shards = %d, want %d", i, p.Shards, wantShards[i])
+		}
+		if p.Commits == 0 || p.OpsPerSec <= 0 {
+			t.Errorf("point %d: empty measurement: %+v", i, p)
+		}
+	}
+	out := RenderScalingTable("scaling", pts)
+	if len(out) < 60 {
+		t.Errorf("table too short: %q", out)
+	}
+}

@@ -1,0 +1,40 @@
+package stripe
+
+import "testing"
+
+func TestRoundPow2(t *testing.T) {
+	cases := []struct{ n, max, want int }{
+		{0, 256, 1},
+		{-5, 256, 1},
+		{1, 256, 1},
+		{3, 256, 4},
+		{8, 256, 8},
+		{9, 256, 16},
+		{300, 256, 256},
+		{300, 300, 256}, // non-power-of-two max rounds down first
+		{7, 6, 4},
+		{1, 1, 1},
+	}
+	for _, c := range cases {
+		if got := RoundPow2(c.n, c.max); got != c.want {
+			t.Errorf("RoundPow2(%d, %d) = %d, want %d", c.n, c.max, got, c.want)
+		}
+		if got := RoundPow2(c.n, c.max); got > c.max {
+			t.Errorf("RoundPow2(%d, %d) = %d exceeds max", c.n, c.max, got)
+		}
+	}
+}
+
+func TestFNV32aStable(t *testing.T) {
+	// Pin a few values so the stripe placement of persisted workloads
+	// cannot silently change.
+	if FNV32a("") != 2166136261 {
+		t.Error("empty-string hash changed")
+	}
+	if FNV32a("acct00") == FNV32a("acct01") {
+		t.Error("distinct ids should hash apart")
+	}
+	if FNV32a("T0001") != FNV32a("T0001") {
+		t.Error("hash not deterministic")
+	}
+}

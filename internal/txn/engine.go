@@ -7,6 +7,17 @@
 // two-phase protocol; and every event is recorded in a global history that
 // the atomicity checkers and the abstract model can audit after the fact.
 //
+// The engine is sharded so that throughput scales with cores: the object
+// registry is striped over a power-of-two array of shards, object lookup is
+// a hash on the ObjectID with no engine-wide lock on the operation path,
+// and each shard owns a history.Recorder that stamps events from one global
+// atomic sequence. Engine.History() k-way merges the per-shard buffers back
+// into the single totally ordered history the post-hoc checkers replay, so
+// scaling the hot path costs the verification story nothing. The shared
+// write-ahead log is group-committed: undo-log objects stage records
+// lock-free of the log and Txn.Commit/Abort flush the batch, which assigns
+// one contiguous LSN range per group (see package wal).
+//
 // The engine realizes exactly the parameters of I(X, Spec, View, Conflict):
 // pairing an UndoLog store with an NRBC-containing relation yields a
 // correct UIP object (Theorem 9); pairing an Intentions store with an
@@ -18,6 +29,7 @@ package txn
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -28,6 +40,7 @@ import (
 	"repro/internal/locking"
 	"repro/internal/recovery"
 	"repro/internal/spec"
+	"repro/internal/stripe"
 	"repro/internal/wal"
 )
 
@@ -77,24 +90,46 @@ type Metrics struct {
 
 // Options configures an Engine.
 type Options struct {
-	// RecordHistory enables the global event recorder (required for
+	// RecordHistory enables the per-shard event recorders (required for
 	// post-hoc verification; disable only in throughput benchmarks).
 	RecordHistory bool
+	// Shards is the number of registry shards; it is rounded up to a power
+	// of two. Zero selects a default derived from GOMAXPROCS.
+	Shards int
 }
 
-// Engine manages objects and transactions.
+// normalizeShards rounds n up to a power of two within
+// [1, stripe.MaxStripes], defaulting to GOMAXPROCS when n is zero or
+// negative.
+func normalizeShards(n int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return stripe.RoundPow2(n, stripe.MaxStripes)
+}
+
+// Engine manages objects and transactions. The registry and the history
+// recorder are striped across shards; see the package comment.
 type Engine struct {
 	opts     Options
 	detector *locking.Detector
 	log      *wal.Log
 
-	mu      sync.Mutex
-	objects map[history.ObjectID]*managedObject
-	events  history.History
-	seq     atomic.Int64
+	shards []*engineShard
+	mask   uint32
+	txnSeq atomic.Int64
+	evSeq  atomic.Int64
 
 	// Metrics is exported for the experiment harness.
 	Metrics Metrics
+}
+
+// engineShard owns one stripe of the object registry and the event buffer
+// for the objects that hash into it.
+type engineShard struct {
+	mu       sync.RWMutex
+	objects  map[history.ObjectID]*managedObject
+	recorder *history.Recorder
 }
 
 // managedObject couples the lock table, recovery store, and latch of one
@@ -107,30 +142,52 @@ type managedObject struct {
 	store recovery.Store
 	rel   commute.Relation
 	kind  RecoveryKind
+	rec   *history.Recorder
 }
 
 // NewEngine builds an engine.
 func NewEngine(opts Options) *Engine {
-	return &Engine{
+	n := normalizeShards(opts.Shards)
+	e := &Engine{
 		opts:     opts,
 		detector: locking.NewDetector(),
 		log:      wal.New(),
-		objects:  make(map[history.ObjectID]*managedObject),
+		shards:   make([]*engineShard, n),
+		mask:     uint32(n - 1),
 	}
+	for i := range e.shards {
+		e.shards[i] = &engineShard{
+			objects:  make(map[history.ObjectID]*managedObject),
+			recorder: history.NewRecorder(&e.evSeq),
+		}
+	}
+	return e
 }
+
+// Shards returns the number of registry shards (a power of two).
+func (e *Engine) Shards() int { return len(e.shards) }
 
 // WAL returns the engine's shared write-ahead log (used by undo-log
 // objects; inspectable in tests).
 func (e *Engine) WAL() *wal.Log { return e.log }
 
+// shardOf returns the shard owning id.
+func (e *Engine) shardOf(id history.ObjectID) *engineShard {
+	return e.shards[stripe.FNV32a(string(id))&e.mask]
+}
+
+// lookup finds a registered object without any engine-wide lock.
+func (e *Engine) lookup(id history.ObjectID) (*managedObject, bool) {
+	sh := e.shardOf(id)
+	sh.mu.RLock()
+	mo, ok := sh.objects[id]
+	sh.mu.RUnlock()
+	return mo, ok
+}
+
 // Register creates an object backed by the machine of ty, locked by rel,
 // recovered per kind. Registering a duplicate ID is a programming error.
 func (e *Engine) Register(id history.ObjectID, ty adt.Type, rel commute.Relation, kind RecoveryKind) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if _, dup := e.objects[id]; dup {
-		return fmt.Errorf("txn: object %q already registered", id)
-	}
 	var store recovery.Store
 	switch kind {
 	case UndoLogRecovery:
@@ -140,15 +197,22 @@ func (e *Engine) Register(id history.ObjectID, ty adt.Type, rel commute.Relation
 	default:
 		return fmt.Errorf("txn: unknown recovery kind %d", int(kind))
 	}
+	sh := e.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.objects[id]; dup {
+		return fmt.Errorf("txn: object %q already registered", id)
+	}
 	mo := &managedObject{
 		id:    id,
 		table: locking.NewTable(rel),
 		store: store,
 		rel:   rel,
 		kind:  kind,
+		rec:   sh.recorder,
 	}
 	mo.cond = sync.NewCond(&mo.mu)
-	e.objects[id] = mo
+	sh.objects[id] = mo
 	return nil
 }
 
@@ -162,29 +226,32 @@ func (e *Engine) MustRegister(id history.ObjectID, ty adt.Type, rel commute.Rela
 // Object returns the recovery store of a registered object (for
 // inspection).
 func (e *Engine) Object(id history.ObjectID) (recovery.Store, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	mo, ok := e.objects[id]
+	mo, ok := e.lookup(id)
 	if !ok {
 		return nil, false
 	}
 	return mo.store, true
 }
 
-// History returns a copy of the recorded global history.
+// History merges the per-shard event buffers into the totally ordered
+// global history. Meaningful mid-run (each shard is snapshotted
+// atomically), definitive once the engine is quiescent.
 func (e *Engine) History() history.History {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.events.Clone()
+	recs := make([]*history.Recorder, len(e.shards))
+	for i, sh := range e.shards {
+		recs[i] = sh.recorder
+	}
+	return history.Merge(recs...)
 }
 
-func (e *Engine) record(ev history.Event) {
+// record appends ev to the owning shard's buffer, stamped with the global
+// sequence. Callers hold the object latch, so stamp order agrees with the
+// object's execution order.
+func (e *Engine) record(mo *managedObject, ev history.Event) {
 	if !e.opts.RecordHistory {
 		return
 	}
-	e.mu.Lock()
-	e.events = append(e.events, ev)
-	e.mu.Unlock()
+	mo.rec.Record(ev)
 }
 
 // txnState is the lifecycle of a transaction handle.
@@ -204,11 +271,14 @@ type Txn struct {
 	touched map[history.ObjectID]bool
 	// order preserves first-touch order for deterministic commit sweeps.
 	order []history.ObjectID
+	// wroteWAL marks that some touched object stages records into the
+	// shared log, so Commit/Abort must flush the group-commit batch.
+	wroteWAL bool
 }
 
 // Begin starts a transaction.
 func (e *Engine) Begin() *Txn {
-	id := history.TxnID(fmt.Sprintf("T%04d", e.seq.Add(1)))
+	id := history.TxnID(fmt.Sprintf("T%04d", e.txnSeq.Add(1)))
 	e.Metrics.Begins.Add(1)
 	return &Txn{id: id, eng: e, touched: make(map[history.ObjectID]bool)}
 }
@@ -226,9 +296,7 @@ func (t *Txn) Invoke(obj history.ObjectID, inv spec.Invocation) (spec.Response, 
 		return "", fmt.Errorf("txn %s: invoke %s: %w", t.id, inv, ErrNotActive)
 	}
 	e := t.eng
-	e.mu.Lock()
-	mo, ok := e.objects[obj]
-	e.mu.Unlock()
+	mo, ok := e.lookup(obj)
 	if !ok {
 		return "", fmt.Errorf("txn %s: unknown object %q", t.id, obj)
 	}
@@ -261,15 +329,14 @@ func (t *Txn) Invoke(obj history.ObjectID, inv spec.Invocation) (spec.Response, 
 				return "", fmt.Errorf("txn %s: response changed under latch: %q vs %q", t.id, res, applied)
 			}
 			mo.table.Add(t.id, op)
-			t.touch(obj)
+			t.touch(mo)
 			// Record the completed operation under the latch so the global
-			// history preserves the object's true execution order (lock
-			// order: e.mu may nest inside mo.mu, never the reverse).
+			// history preserves the object's true execution order.
 			// Invocations are recorded only when they complete, so failed
 			// or retried invocations never leave a dangling pending
 			// invocation in the history.
-			e.record(history.Event{Kind: history.Invoke, Obj: obj, Txn: t.id, Inv: inv})
-			e.record(history.Event{Kind: history.Respond, Obj: obj, Txn: t.id, Res: res})
+			e.record(mo, history.Event{Kind: history.Invoke, Obj: obj, Txn: t.id, Inv: inv})
+			e.record(mo, history.Event{Kind: history.Respond, Obj: obj, Txn: t.id, Res: res})
 			mo.mu.Unlock()
 			e.Metrics.Operations.Add(1)
 			if blocked {
@@ -294,10 +361,13 @@ func (t *Txn) Invoke(obj history.ObjectID, inv spec.Invocation) (spec.Response, 
 	}
 }
 
-func (t *Txn) touch(obj history.ObjectID) {
-	if !t.touched[obj] {
-		t.touched[obj] = true
-		t.order = append(t.order, obj)
+func (t *Txn) touch(mo *managedObject) {
+	if !t.touched[mo.id] {
+		t.touched[mo.id] = true
+		t.order = append(t.order, mo.id)
+	}
+	if mo.kind == UndoLogRecovery {
+		t.wroteWAL = true
 	}
 }
 
@@ -305,7 +375,10 @@ func (t *Txn) touch(obj history.ObjectID) {
 // sweep: prepare (validate) all objects, then commit and release locks at
 // each. With the single-process engine the prepare phase cannot fail after
 // successful operations, but the structure mirrors the atomic-commitment
-// protocols the paper's model assumes.
+// protocols the paper's model assumes. Commit is the group-commit point:
+// after the per-object sweep it flushes the shared WAL, batching this
+// transaction's staged records — and those of every concurrently committing
+// transaction — into one contiguous LSN assignment.
 func (t *Txn) Commit() error {
 	if !t.state.CompareAndSwap(int32(active), int32(committed)) {
 		return fmt.Errorf("txn %s: commit: %w", t.id, ErrNotActive)
@@ -314,27 +387,28 @@ func (t *Txn) Commit() error {
 	objs := t.sortedTouched()
 	// Phase 1: prepare — verify every participant is still registered.
 	for _, obj := range objs {
-		e.mu.Lock()
-		_, ok := e.objects[obj]
-		e.mu.Unlock()
-		if !ok {
+		if _, ok := e.lookup(obj); !ok {
 			return fmt.Errorf("txn %s: prepare: object %q vanished", t.id, obj)
 		}
 	}
 	// Phase 2: commit at each object, releasing locks.
 	for _, obj := range objs {
-		e.mu.Lock()
-		mo := e.objects[obj]
-		e.mu.Unlock()
+		mo, ok := e.lookup(obj)
+		if !ok {
+			return fmt.Errorf("txn %s: commit: object %q vanished", t.id, obj)
+		}
 		mo.mu.Lock()
 		if err := mo.store.Commit(t.id); err != nil {
 			mo.mu.Unlock()
 			return fmt.Errorf("txn %s: commit at %s: %w", t.id, obj, err)
 		}
 		mo.table.Release(t.id)
-		e.record(history.Event{Kind: history.Commit, Obj: obj, Txn: t.id})
+		e.record(mo, history.Event{Kind: history.Commit, Obj: obj, Txn: t.id})
 		mo.cond.Broadcast()
 		mo.mu.Unlock()
+	}
+	if t.wroteWAL {
+		e.log.Flush()
 	}
 	e.detector.ClearWaits(t.id)
 	e.Metrics.Commits.Add(1)
@@ -342,25 +416,30 @@ func (t *Txn) Commit() error {
 }
 
 // Abort aborts the transaction at every touched object, undoing its
-// effects per each object's recovery discipline and releasing its locks.
+// effects per each object's recovery discipline and releasing its locks,
+// then flushes the staged compensation records.
 func (t *Txn) Abort() error {
 	if !t.state.CompareAndSwap(int32(active), int32(aborted)) {
 		return fmt.Errorf("txn %s: abort: %w", t.id, ErrNotActive)
 	}
 	e := t.eng
 	for _, obj := range t.sortedTouched() {
-		e.mu.Lock()
-		mo := e.objects[obj]
-		e.mu.Unlock()
+		mo, ok := e.lookup(obj)
+		if !ok {
+			return fmt.Errorf("txn %s: abort: object %q vanished", t.id, obj)
+		}
 		mo.mu.Lock()
 		if err := mo.store.Abort(t.id); err != nil {
 			mo.mu.Unlock()
 			return fmt.Errorf("txn %s: abort at %s: %w", t.id, obj, err)
 		}
 		mo.table.Release(t.id)
-		e.record(history.Event{Kind: history.Abort, Obj: obj, Txn: t.id})
+		e.record(mo, history.Event{Kind: history.Abort, Obj: obj, Txn: t.id})
 		mo.cond.Broadcast()
 		mo.mu.Unlock()
+	}
+	if t.wroteWAL {
+		e.log.Flush()
 	}
 	e.detector.ClearWaits(t.id)
 	e.Metrics.Aborts.Add(1)

@@ -1,8 +1,24 @@
-// Package wal implements a minimal write-ahead log used by the
+// Package wal implements a group-committed write-ahead log used by the
 // update-in-place recovery manager: an append-only sequence of typed
 // records with monotonically increasing LSNs and per-transaction backward
 // chains, supporting the abort-time backward walk that operation-logging
 // recovery performs.
+//
+// Appends are staged: AppendAsync publishes a record to a per-stripe
+// staging buffer (striped by transaction, so one transaction's records stay
+// FIFO) without touching the committed region of the log. Every staged
+// record is stamped from one atomic counter; since the recovery manager
+// stages while holding the object latch, stamp order agrees with each
+// object's true execution order. Flush — invoked by committing
+// transactions, or implicitly by any reader — drains every stripe, sorts
+// the batch by stamp, and assigns it one contiguous LSN range, fixing up
+// each transaction's backward PrevLSN chain as it goes. LSN order is
+// therefore consistent with per-object and per-transaction execution order
+// even across transactions in one batch — the invariant the Restart redo
+// pass replays by. Concurrent committers share a single flusher: while one
+// transaction holds the flush lock, the records of every other committing
+// transaction pile into the staging buffers and are sequenced by the next
+// holder in one batch — classic group commit.
 //
 // The paper deliberately abstracts recovery to the View function; this
 // package is the executable substrate beneath the UIP abstraction — what
@@ -12,10 +28,14 @@ package wal
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/history"
 	"repro/internal/spec"
+	stripepkg "repro/internal/stripe"
 )
 
 // LSN is a log sequence number. LSNs start at 1; 0 is the nil LSN.
@@ -65,32 +85,139 @@ type Record struct {
 	Undo any
 }
 
-// Log is an append-only in-memory log. It is safe for concurrent use.
+// stagedRec is a staged record awaiting LSN assignment. The flusher writes
+// lsn before releasing the flush lock, so an appender that stages and then
+// calls Flush observes its assignment. stamp is the stage-time sequence
+// the flusher sorts by.
+type stagedRec struct {
+	rec   Record
+	stamp int64
+	lsn   LSN
+}
+
+// stripe is one staging buffer. Records of a transaction always land in
+// the same stripe (hash on TxnID), preserving their order.
+type stripe struct {
+	mu     sync.Mutex
+	staged []*stagedRec
+}
+
+// Log is an append-only in-memory log with group-committed LSN assignment.
+// It is safe for concurrent use.
 type Log struct {
+	stripes []*stripe
+	mask    uint32
+
+	// stampSeq orders records by stage time across all stripes.
+	stampSeq atomic.Int64
+
+	// flushMu serializes batch sequencing; mu guards the committed region.
+	flushMu sync.Mutex
 	mu      sync.Mutex
 	records []Record
 	lastOf  map[history.TxnID]LSN
+
+	// Batch diagnostics for the scaling benchmarks.
+	flushes atomic.Int64
+	flushed atomic.Int64
 }
 
-// New builds an empty log.
+// New builds an empty log with a stripe count derived from GOMAXPROCS.
 func New() *Log {
-	return &Log{lastOf: make(map[history.TxnID]LSN)}
+	return NewStriped(runtime.GOMAXPROCS(0))
 }
 
-// Append writes a record, assigning its LSN and chaining it to the
-// transaction's previous record. The assigned LSN is returned.
+// NewStriped builds an empty log with n staging stripes (rounded up to a
+// power of two, at least 1).
+func NewStriped(n int) *Log {
+	p := stripepkg.RoundPow2(n, stripepkg.MaxStripes)
+	l := &Log{
+		stripes: make([]*stripe, p),
+		mask:    uint32(p - 1),
+		lastOf:  make(map[history.TxnID]LSN),
+	}
+	for i := range l.stripes {
+		l.stripes[i] = &stripe{}
+	}
+	return l
+}
+
+func (l *Log) stripeOf(txn history.TxnID) *stripe {
+	return l.stripes[stripepkg.FNV32a(string(txn))&l.mask]
+}
+
+// stage publishes r to its transaction's staging stripe. The stamp is
+// taken under the stripe lock so that a transaction's records (always in
+// one stripe) carry strictly increasing stamps, and callers staging under
+// an object latch get stamps in the object's execution order.
+func (l *Log) stage(r Record) *stagedRec {
+	s := &stagedRec{rec: r}
+	st := l.stripeOf(r.Txn)
+	st.mu.Lock()
+	s.stamp = l.stampSeq.Add(1)
+	st.staged = append(st.staged, s)
+	st.mu.Unlock()
+	return s
+}
+
+// AppendAsync stages a record without waiting for its LSN. The record is
+// sequenced by the next Flush (a committing transaction's group-commit
+// flush, or any reader). This is the engine's hot path: no log-wide lock.
+func (l *Log) AppendAsync(r Record) {
+	l.stage(r)
+}
+
+// Append stages a record and flushes, returning the assigned LSN — the
+// synchronous path, equivalent to a group commit of whatever is staged.
 func (l *Log) Append(r Record) LSN {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	r.LSN = LSN(len(l.records) + 1)
-	r.PrevLSN = l.lastOf[r.Txn]
-	l.lastOf[r.Txn] = r.LSN
-	l.records = append(l.records, r)
-	return r.LSN
+	s := l.stage(r)
+	l.Flush()
+	return s.lsn
 }
 
-// Get returns the record at the LSN.
+// Flush drains every staging stripe, sorts the batch by stage stamp, and
+// assigns it one contiguous LSN range, chaining each record to its
+// transaction's previous record. When Flush returns, every record staged
+// before the call is sequenced (by this flusher or an earlier one).
+func (l *Log) Flush() {
+	l.flushMu.Lock()
+	var batch []*stagedRec
+	for _, st := range l.stripes {
+		st.mu.Lock()
+		if len(st.staged) > 0 {
+			batch = append(batch, st.staged...)
+			st.staged = nil
+		}
+		st.mu.Unlock()
+	}
+	if len(batch) > 0 {
+		sort.Slice(batch, func(i, j int) bool { return batch[i].stamp < batch[j].stamp })
+		l.mu.Lock()
+		base := LSN(len(l.records))
+		for i, s := range batch {
+			s.rec.LSN = base + LSN(i) + 1
+			s.rec.PrevLSN = l.lastOf[s.rec.Txn]
+			l.lastOf[s.rec.Txn] = s.rec.LSN
+			l.records = append(l.records, s.rec)
+			s.lsn = s.rec.LSN
+		}
+		l.mu.Unlock()
+		l.flushes.Add(1)
+		l.flushed.Add(int64(len(batch)))
+	}
+	l.flushMu.Unlock()
+}
+
+// Flushes returns the number of non-empty flush batches sequenced so far.
+func (l *Log) Flushes() int64 { return l.flushes.Load() }
+
+// FlushedRecords returns the total records sequenced by flush batches
+// (FlushedRecords/Flushes is the mean group-commit batch size).
+func (l *Log) FlushedRecords() int64 { return l.flushed.Load() }
+
+// Get returns the record at the LSN, flushing staged records first.
 func (l *Log) Get(lsn LSN) (Record, bool) {
+	l.Flush()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if lsn == 0 || int(lsn) > len(l.records) {
@@ -99,23 +226,27 @@ func (l *Log) Get(lsn LSN) (Record, bool) {
 	return l.records[lsn-1], true
 }
 
-// LastLSN returns the most recent LSN written for txn (0 if none).
+// LastLSN returns the most recent LSN written for txn (0 if none),
+// flushing staged records first.
 func (l *Log) LastLSN(txn history.TxnID) LSN {
+	l.Flush()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.lastOf[txn]
 }
 
-// Len returns the number of records.
+// Len returns the number of records, flushing staged records first.
 func (l *Log) Len() int {
+	l.Flush()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return len(l.records)
 }
 
 // TxnChain returns txn's records newest-first, following PrevLSN — the
-// traversal abort processing performs.
+// traversal abort processing performs. Staged records are flushed first.
 func (l *Log) TxnChain(txn history.TxnID) []Record {
+	l.Flush()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	var out []Record
@@ -129,8 +260,9 @@ func (l *Log) TxnChain(txn history.TxnID) []Record {
 }
 
 // Snapshot returns a copy of all records in LSN order (diagnostics,
-// tests).
+// tests), flushing staged records first.
 func (l *Log) Snapshot() []Record {
+	l.Flush()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return append([]Record(nil), l.records...)

@@ -103,3 +103,86 @@ func TestRecordKindString(t *testing.T) {
 		}
 	}
 }
+
+func TestAppendAsyncStagesUntilFlush(t *testing.T) {
+	l := New()
+	l.AppendAsync(Record{Kind: Update, Txn: "A", Obj: "X", Op: adt.DepositOk(1)})
+	l.AppendAsync(Record{Kind: Update, Txn: "B", Obj: "Y", Op: adt.DepositOk(2)})
+	l.AppendAsync(Record{Kind: CommitRec, Txn: "A", Obj: "X"})
+	l.Flush()
+	if got := l.Flushes(); got != 1 {
+		t.Fatalf("Flushes = %d, want 1 batch", got)
+	}
+	if got := l.FlushedRecords(); got != 3 {
+		t.Fatalf("FlushedRecords = %d, want 3", got)
+	}
+	// The batch got one contiguous LSN range.
+	recs := l.Snapshot()
+	if len(recs) != 3 {
+		t.Fatalf("Len = %d", len(recs))
+	}
+	for i, r := range recs {
+		if r.LSN != LSN(i+1) {
+			t.Fatalf("record %d has LSN %d", i, r.LSN)
+		}
+	}
+	// A's chain: commit -> update, in stage order.
+	chain := l.TxnChain("A")
+	if len(chain) != 2 || chain[0].Kind != CommitRec || chain[1].Kind != Update {
+		t.Fatalf("chain = %v", chain)
+	}
+	if chain[1].PrevLSN != 0 || chain[0].PrevLSN != chain[1].LSN {
+		t.Fatalf("chain links wrong: %v", chain)
+	}
+}
+
+func TestGroupCommitBatchesConcurrentAppenders(t *testing.T) {
+	l := NewStriped(4)
+	const gs = 8
+	const per = 40
+	var wg sync.WaitGroup
+	for g := 0; g < gs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			txn := history.TxnID(rune('A' + g))
+			for i := 0; i < per; i++ {
+				l.AppendAsync(Record{Kind: Update, Txn: txn, Obj: "X", Op: adt.DepositOk(1)})
+			}
+			l.Flush()
+		}(g)
+	}
+	wg.Wait()
+	if l.Len() != gs*per {
+		t.Fatalf("Len = %d, want %d", l.Len(), gs*per)
+	}
+	// Group commit: each goroutine flushes once, so there are at most gs
+	// non-empty batches for gs*per records (an empty drain is not counted),
+	// and every record is sequenced exactly once.
+	if f := l.Flushes(); f < 1 || f > int64(gs) {
+		t.Fatalf("flushes = %d, want 1..%d (batching broken)", f, gs)
+	}
+	if l.FlushedRecords() != int64(gs*per) {
+		t.Fatalf("flushed = %d, want %d", l.FlushedRecords(), gs*per)
+	}
+	seen := make(map[LSN]bool)
+	for _, r := range l.Snapshot() {
+		if seen[r.LSN] {
+			t.Fatalf("duplicate LSN %d", r.LSN)
+		}
+		seen[r.LSN] = true
+	}
+	// Per-transaction chains are complete and in stage order.
+	for g := 0; g < gs; g++ {
+		txn := history.TxnID(rune('A' + g))
+		chain := l.TxnChain(txn)
+		if len(chain) != per {
+			t.Fatalf("chain(%s) = %d, want %d", txn, len(chain), per)
+		}
+		for i := 1; i < len(chain); i++ {
+			if chain[i].LSN >= chain[i-1].LSN {
+				t.Fatalf("chain(%s) not newest-first at %d", txn, i)
+			}
+		}
+	}
+}
