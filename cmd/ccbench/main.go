@@ -2,16 +2,18 @@
 // deterministic conflict-mass sweep (the trade-off curve between
 // update-in-place and deferred-update recovery), the engine-level banking
 // and resource-pool workloads under every scheduler pairing, the recovery
-// cost profile, and the engine scaling sweep (shard count × GOMAXPROCS on
-// the wide-object workload).
+// cost profile, the engine scaling sweep (shard count × GOMAXPROCS on the
+// wide-object workload), and the group-commit flush sweep (flusher dwell ×
+// simulated sync latency against the asynchronous WAL).
 //
 // Usage:
 //
-//	ccbench                  # full suite at default sizes
-//	ccbench -quick           # reduced sizes
-//	ccbench -experiment mass # one experiment: mass, banking, pool, recovery, scaling
-//	ccbench -shards 8        # fix the engine shard count (0 = sweep 1..16)
-//	ccbench -json            # also write BENCH_engine.json (scaling points)
+//	ccbench                            # full suite at default sizes
+//	ccbench -quick                     # reduced sizes
+//	ccbench -experiment mass           # one of: mass, banking, pool, recovery, scaling, flush
+//	ccbench -experiment scaling,flush  # a comma-separated subset
+//	ccbench -shards 8                  # fix the engine shard count (0 = sweep 1..16)
+//	ccbench -json                      # also write BENCH_engine.json (scaling + flush points)
 package main
 
 import (
@@ -20,33 +22,52 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
+	"time"
 
 	"repro/internal/adt"
 	"repro/internal/commute"
 	"repro/internal/sim"
 )
 
-// benchJSONPath is where -json writes the machine-readable scaling points,
+// benchJSONPath is where -json writes the machine-readable sweep points,
 // tracking the engine's perf trajectory across PRs.
 const benchJSONPath = "BENCH_engine.json"
 
 var (
 	flagShards = flag.Int("shards", 0, "engine shard count for the scaling experiment (0 = sweep 1,2,4,8,16)")
-	flagJSON   = flag.Bool("json", false, "write scaling results to "+benchJSONPath)
+	flagJSON   = flag.Bool("json", false, "write scaling and flush results to "+benchJSONPath)
 )
+
+// benchDoc is the BENCH_engine.json schema: one section per machine-
+// readable sweep. Sections not exercised by the selected experiments are
+// omitted.
+type benchDoc struct {
+	Scaling []sim.ScalingPoint `json:"scaling,omitempty"`
+	Flush   []sim.FlushPoint   `json:"flush,omitempty"`
+}
+
+var benchOut benchDoc
 
 func main() {
 	quick := flag.Bool("quick", false, "run reduced sizes")
-	experiment := flag.String("experiment", "", "run one experiment: mass, banking, pool, recovery, scaling")
+	experiment := flag.String("experiment", "", "run selected experiments (comma-separated): mass, banking, pool, recovery, scaling, flush")
 	flag.Parse()
 
-	known := map[string]bool{"": true, "mass": true, "banking": true, "pool": true, "recovery": true, "scaling": true}
-	if !known[*experiment] {
-		fmt.Fprintf(os.Stderr, "ccbench: unknown experiment %q\n", *experiment)
-		os.Exit(2)
+	known := map[string]bool{"mass": true, "banking": true, "pool": true,
+		"recovery": true, "scaling": true, "flush": true}
+	selected := map[string]bool{}
+	if *experiment != "" {
+		for _, name := range strings.Split(*experiment, ",") {
+			if !known[name] {
+				fmt.Fprintf(os.Stderr, "ccbench: unknown experiment %q\n", name)
+				os.Exit(2)
+			}
+			selected[name] = true
+		}
 	}
 	run := func(name string, f func(bool)) {
-		if *experiment == "" || *experiment == name {
+		if len(selected) == 0 || selected[name] {
 			f(*quick)
 		}
 	}
@@ -55,9 +76,76 @@ func main() {
 	run("pool", poolExperiment)
 	run("recovery", recoveryExperiment)
 	run("scaling", scalingExperiment)
-	if *flagJSON && *experiment != "" && *experiment != "scaling" {
-		fmt.Fprintf(os.Stderr, "ccbench: -json only applies to the scaling experiment; no %s written\n", benchJSONPath)
+	run("flush", flushExperiment)
+	if *flagJSON {
+		if len(benchOut.Scaling) == 0 && len(benchOut.Flush) == 0 {
+			fmt.Fprintf(os.Stderr, "ccbench: -json applies to the scaling and flush experiments; no %s written\n", benchJSONPath)
+			return
+		}
+		writeBenchJSON()
 	}
+}
+
+func writeBenchJSON() {
+	// The file is a committed artifact holding every sweep's latest points;
+	// running a subset of experiments must not discard the others' data, so
+	// merge over whatever is already recorded.
+	if prev, err := os.ReadFile(benchJSONPath); err == nil {
+		var old benchDoc
+		if err := json.Unmarshal(prev, &old); err == nil {
+			if len(benchOut.Scaling) == 0 {
+				benchOut.Scaling = old.Scaling
+			}
+			if len(benchOut.Flush) == 0 {
+				benchOut.Flush = old.Flush
+			}
+		}
+	}
+	f, err := os.Create(benchJSONPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ccbench: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(benchOut); err != nil {
+		fmt.Fprintf(os.Stderr, "ccbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "ccbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d scaling + %d flush points to %s\n",
+		len(benchOut.Scaling), len(benchOut.Flush), benchJSONPath)
+}
+
+// flushExperiment measures the group-commit trade-off (E15): commit-
+// latency percentiles and mean durable batch size across a flusher-dwell ×
+// sync-latency grid, on the asynchronous WAL over the fsync-simulating
+// backend. Longer dwells amortize each sync over more transactions at the
+// price of commit latency; sync latency sets the floor the amortization
+// is worth paying for.
+func flushExperiment(quick bool) {
+	cfg := sim.DefaultFlushConfig()
+	if quick {
+		cfg.TxnsPerWorker = 30
+	}
+	intervals := []time.Duration{0, 200 * time.Microsecond, time.Millisecond}
+	latencies := []time.Duration{0, 100 * time.Microsecond, 500 * time.Microsecond}
+	pts, err := sim.FlushSweep(sim.UIPNRBC, cfg, intervals, latencies)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ccbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(sim.RenderFlushTable(
+		fmt.Sprintf("E15 — group-commit flush sweep, %d accounts, %d workers, GOMAXPROCS=%d (dwell × simulated sync latency)",
+			cfg.Objects, cfg.Workers, runtime.GOMAXPROCS(0)), pts))
+	fmt.Println("shape: p50 commit latency tracks dwell + sync latency; mean batch size grows")
+	fmt.Println("with dwell, cutting syncs — the batch-size-vs-latency trade-off of group")
+	fmt.Println("commit. With zero dwell each commit barrier syncs almost alone.")
+	fmt.Println()
+	benchOut.Flush = pts
 }
 
 // scalingExperiment measures the wide-object workload across shard counts
@@ -84,24 +172,7 @@ func scalingExperiment(quick bool) {
 	fmt.Println("workload's conflict mass is exhausted; the per-shard histories always merge")
 	fmt.Println("into one totally ordered history (verified by the sim tests).")
 	fmt.Println()
-	if *flagJSON {
-		f, err := os.Create(benchJSONPath)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "ccbench: %v\n", err)
-			os.Exit(1)
-		}
-		enc := json.NewEncoder(f)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(pts); err != nil {
-			fmt.Fprintf(os.Stderr, "ccbench: %v\n", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "ccbench: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote %d scaling points to %s\n", len(pts), benchJSONPath)
-	}
+	benchOut.Scaling = pts
 }
 
 // massExperiment prints the deterministic conflict-mass sweep: the

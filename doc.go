@@ -19,13 +19,18 @@
 // records events into its own buffer stamped from one global atomic
 // sequence, and Engine.History() merges the buffers back into the single
 // totally ordered history the checkers replay. The write-ahead log is
-// group-committed: updates stage into per-transaction-stripe buffers and
-// commit-time flushes assign contiguous LSN ranges per batch. See
-// internal/txn, internal/history, and internal/wal.
+// group-committed with an optional dedicated flusher: updates stage into
+// per-transaction-stripe buffers, sequencing assigns contiguous LSN ranges
+// per batch, and in asynchronous mode commits are barrier-acknowledged
+// only after the batch reaches a pluggable durability backend — in-memory,
+// fsync-simulating, or a real append-only file that recovery.Restart
+// replays after a crash (the crash-injection suite in internal/recovery
+// proves exactly the committed-winners state survives every flush
+// boundary). See internal/txn, internal/history, and internal/wal.
 //
 // The benchmarks in bench_test.go regenerate every table and figure of the
-// paper plus the engine scaling sweep (shards × GOMAXPROCS); `ccbench
-// -experiment scaling -json` writes the sweep to BENCH_engine.json. See
-// DESIGN.md for the system inventory and EXPERIMENTS.md for
-// paper-vs-measured results.
+// paper plus the engine scaling sweep (shards × GOMAXPROCS) and the
+// group-commit flush sweep (flusher dwell × sync latency); `ccbench
+// -experiment scaling,flush -json` writes both to BENCH_engine.json. See
+// EXPERIMENTS.md for the methodology and the 1-vCPU measurement caveats.
 package repro

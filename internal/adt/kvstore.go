@@ -1,6 +1,7 @@
 package adt
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -246,4 +247,33 @@ func (kvMachine) UndoWithBefore(v Value, op spec.Operation, before any) (Value, 
 		delete(next, b.key)
 	}
 	return next, nil
+}
+
+// kvBeforeWire is the durable rendering of kvBefore.
+type kvBeforeWire struct {
+	Key     string `json:"k"`
+	Val     string `json:"v"`
+	Present bool   `json:"p"`
+}
+
+// EncodeUndoToken implements UndoTokenCodec.
+func (kvMachine) EncodeUndoToken(tok any) (string, error) {
+	b, ok := tok.(kvBefore)
+	if !ok {
+		return "", fmt.Errorf("adt: kv-store: cannot encode undo token %T", tok)
+	}
+	buf, err := json.Marshal(kvBeforeWire{Key: b.key, Val: b.val, Present: b.present})
+	if err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// DecodeUndoToken implements UndoTokenCodec.
+func (kvMachine) DecodeUndoToken(s string) (any, error) {
+	var w kvBeforeWire
+	if err := json.Unmarshal([]byte(s), &w); err != nil {
+		return nil, fmt.Errorf("adt: kv-store: bad undo token %q: %w", s, err)
+	}
+	return kvBefore{key: w.Key, val: w.Val, present: w.Present}, nil
 }

@@ -145,3 +145,18 @@ func (m regMachine) UndoWithBefore(v Value, op spec.Operation, before any) (Valu
 	}
 	return prev, nil
 }
+
+// EncodeUndoToken implements UndoTokenCodec: the token is the overwritten
+// register value itself.
+func (regMachine) EncodeUndoToken(tok any) (string, error) {
+	v, ok := tok.(RegValue)
+	if !ok {
+		return "", fmt.Errorf("adt: register: cannot encode undo token %T", tok)
+	}
+	return string(v), nil
+}
+
+// DecodeUndoToken implements UndoTokenCodec.
+func (regMachine) DecodeUndoToken(s string) (any, error) {
+	return RegValue(s), nil
+}

@@ -17,3 +17,15 @@ type BeforeImageUndoer interface {
 	// UndoWithBefore reverses op on v using the captured token.
 	UndoWithBefore(v Value, op spec.Operation, before any) (Value, error)
 }
+
+// UndoTokenCodec is implemented by machines whose undo tokens must survive
+// a durable write-ahead-log round trip: the recovery manager encodes the
+// token when staging the log record (wal.EncodedUndo), and crash restart
+// decodes it before handing it back to UndoWithBefore. Machines with
+// purely logical undo (no before images) need no codec.
+type UndoTokenCodec interface {
+	// EncodeUndoToken renders a CaptureBefore token as a string.
+	EncodeUndoToken(tok any) (string, error)
+	// DecodeUndoToken parses a string produced by EncodeUndoToken.
+	DecodeUndoToken(s string) (any, error)
+}

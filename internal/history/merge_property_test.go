@@ -1,0 +1,137 @@
+package history
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// shardOf assigns an object to one of n shard recorders, the way the
+// engine's registry does.
+func shardOf(obj ObjectID, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(obj))
+	return int(h.Sum32()) % n
+}
+
+// TestMergeReconstructsRecordOrder: distributing a well-formed history
+// over 1–16 per-object shard recorders and merging reconstructs the exact
+// input sequence (stamps are assigned in record order, and Merge sorts by
+// stamp), and the result round-trips through the same well-formedness
+// check cmd/histcheck runs.
+func TestMergeReconstructsRecordOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		shards := 1 + rng.Intn(16)
+		h := randomWellFormed(rng, 1+rng.Intn(5), 1+rng.Intn(4), 60)
+		var seq atomic.Int64
+		recs := make([]*Recorder, shards)
+		for i := range recs {
+			recs[i] = NewRecorder(&seq)
+		}
+		for _, ev := range h {
+			recs[shardOf(ev.Obj, shards)].Record(ev)
+		}
+		merged := Merge(recs...)
+		if len(merged) != len(h) {
+			return false
+		}
+		for i := range h {
+			if merged[i] != h[i] {
+				return false
+			}
+		}
+		return WellFormed(merged) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMergeConcurrentInterleavings: one goroutine per transaction replays
+// its event stream into the object-owning shard recorder — the engine's
+// actual concurrency shape (a transaction is single-goroutine; shards are
+// shared) — across random shard counts 1–16. Whatever interleaving the
+// scheduler produces, the merged history must (1) equal the stamp order
+// exactly, (2) preserve every transaction's program order, and (3) pass
+// the well-formedness check the verification stack starts with.
+func TestMergeConcurrentInterleavings(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		shards := 1 + rng.Intn(16)
+		h := randomWellFormed(rng, 2+rng.Intn(5), 1+rng.Intn(4), 80)
+		var seq atomic.Int64
+		recs := make([]*Recorder, shards)
+		for i := range recs {
+			recs[i] = NewRecorder(&seq)
+		}
+		var wg sync.WaitGroup
+		for _, txn := range h.Txns() {
+			wg.Add(1)
+			go func(stream History) {
+				defer wg.Done()
+				for _, ev := range stream {
+					recs[shardOf(ev.Obj, shards)].Record(ev)
+					runtime.Gosched()
+				}
+			}(h.ProjectTxn(txn))
+		}
+		wg.Wait()
+		merged := Merge(recs...)
+		if len(merged) != len(h) {
+			return false
+		}
+		// (1) Merged order is exactly stamp order.
+		var all []SeqEvent
+		for _, r := range recs {
+			all = append(all, r.Snapshot()...)
+		}
+		bySeq := make(map[int64]Event, len(all))
+		for _, se := range all {
+			if _, dup := bySeq[se.Seq]; dup {
+				return false // stamps must be unique
+			}
+			bySeq[se.Seq] = se.Event
+		}
+		ordered := make([]int64, 0, len(all))
+		for s := range bySeq {
+			ordered = append(ordered, s)
+		}
+		sortInt64s(ordered)
+		for i, s := range ordered {
+			if merged[i] != bySeq[s] {
+				return false
+			}
+		}
+		// (2) Per-transaction program order survives the interleaving.
+		for _, txn := range h.Txns() {
+			want := h.ProjectTxn(txn)
+			got := merged.ProjectTxn(txn)
+			if len(want) != len(got) {
+				return false
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					return false
+				}
+			}
+		}
+		// (3) The merge is still a well-formed history.
+		return WellFormed(merged) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sortInt64s(a []int64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -100,11 +100,30 @@ func (u *UndoLog) Peek(txn history.TxnID, inv spec.Invocation) (spec.Response, e
 	return res, err
 }
 
-// Apply implements Store: update in place and log the undo record.
+// Apply implements Store: update in place and log the undo record. The
+// in-memory chain keeps the raw before-image token (live abort needs no
+// round trip); the staged WAL record carries the token in its durable
+// EncodedUndo form when the machine provides a codec, so the same record
+// stream works against in-memory and file backends alike, and Restart
+// decodes uniformly.
 func (u *UndoLog) Apply(txn history.TxnID, inv spec.Invocation) (spec.Response, error) {
 	var before any
 	if bi, ok := u.machine.(adt.BeforeImageUndoer); ok {
 		before = bi.CaptureBefore(u.current, inv)
+	}
+	// Encode before mutating anything: an encode failure must leave the
+	// state, the undo chain, and the log untouched, or a later commit or
+	// abort would persist a record stream missing this update and Restart
+	// would diverge from the pre-crash state.
+	logged := before
+	if before != nil {
+		if c, ok := u.machine.(adt.UndoTokenCodec); ok {
+			s, err := c.EncodeUndoToken(before)
+			if err != nil {
+				return "", fmt.Errorf("recovery: encoding undo token for %s: %w", inv, err)
+			}
+			logged = wal.EncodedUndo(s)
+		}
 	}
 	res, next, err := u.machine.Apply(u.current, inv)
 	if err != nil {
@@ -113,7 +132,7 @@ func (u *UndoLog) Apply(txn history.TxnID, inv spec.Invocation) (spec.Response, 
 	u.current = next
 	op := spec.Op(inv, res)
 	u.chain[txn] = append(u.chain[txn], undoRec{op: op, before: before})
-	u.log.AppendAsync(wal.Record{Kind: wal.Update, Txn: txn, Obj: u.obj, Op: op, Undo: before})
+	u.log.AppendAsync(wal.Record{Kind: wal.Update, Txn: txn, Obj: u.obj, Op: op, Undo: logged})
 	u.stats.Applies++
 	return res, nil
 }

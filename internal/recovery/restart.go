@@ -82,7 +82,20 @@ func Restart(obj history.ObjectID, m adt.Machine, log *wal.Log) (*UndoLog, error
 					rec.LSN, rec.Op, res)
 			}
 			state = next
-			ti.pending = append(ti.pending, undoRec{op: rec.Op, before: rec.Undo})
+			before := rec.Undo
+			if enc, ok := before.(wal.EncodedUndo); ok {
+				c, ok := m.(adt.UndoTokenCodec)
+				if !ok {
+					return nil, fmt.Errorf("recovery: restart LSN %d: machine %s has no undo token codec",
+						rec.LSN, m.Name())
+				}
+				dec, err := c.DecodeUndoToken(string(enc))
+				if err != nil {
+					return nil, fmt.Errorf("recovery: restart LSN %d: %w", rec.LSN, err)
+				}
+				before = dec
+			}
+			ti.pending = append(ti.pending, undoRec{op: rec.Op, before: before})
 		case wal.CompensationRec:
 			if len(ti.pending) == 0 {
 				return nil, fmt.Errorf("recovery: restart LSN %d: compensation with no pending update for %s",

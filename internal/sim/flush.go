@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/adt"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// FlushConfig parameterizes the group-commit flush experiment: the
+// embedded scaling workload run against an asynchronous WAL whose flusher
+// dwell (BatchInterval) and simulated storage latency (SyncLatency) are
+// the independent variables. The dependent variables — commit-latency
+// percentiles and mean durable batch size — quantify the trade-off that
+// motivates group commit: a longer dwell amortizes each sync over more
+// transactions at the price of every commit waiting out the dwell.
+// Embedding ScalingConfig keeps the workload definition shared by
+// construction: every scaling knob (zipf skew, think time, abort rate)
+// applies to the flush sweep too.
+type FlushConfig struct {
+	ScalingConfig
+	// BatchInterval is the flusher dwell; SyncLatency the simulated
+	// per-sync device latency; MaxBatch cuts the dwell short (0 = no cap).
+	BatchInterval time.Duration
+	SyncLatency   time.Duration
+	MaxBatch      int
+}
+
+// DefaultFlushConfig is 32 accounts under 8 workers, write-heavy so every
+// transaction stages WAL records.
+func DefaultFlushConfig() FlushConfig {
+	return FlushConfig{
+		ScalingConfig: ScalingConfig{
+			Objects:        32,
+			Workers:        8,
+			TxnsPerWorker:  100,
+			OpsPerTxn:      3,
+			DepositPct:     45,
+			WithdrawPct:    45,
+			InitialBalance: 1_000_000,
+			Seed:           1,
+		},
+	}
+}
+
+// FlushPoint is one measured point of the batch-interval × sync-latency
+// sweep.
+type FlushPoint struct {
+	Scheduler       string  `json:"scheduler"`
+	BatchIntervalUS int64   `json:"batch_interval_us"`
+	SyncLatencyUS   int64   `json:"sync_latency_us"`
+	MaxBatch        int     `json:"max_batch,omitempty"`
+	Workers         int     `json:"workers"`
+	Commits         int64   `json:"commits"`
+	Aborts          int64   `json:"aborts"`
+	Syncs           int64   `json:"syncs"`
+	WALRecords      int64   `json:"wal_records"`
+	MeanBatch       float64 `json:"mean_batch"`
+	CommitP50US     float64 `json:"commit_p50_us"`
+	CommitP99US     float64 `json:"commit_p99_us"`
+	TxnPerSec       float64 `json:"txn_per_sec"`
+	ElapsedNS       int64   `json:"elapsed_ns"`
+}
+
+// RunFlush executes the workload against an asynchronous flusher over an
+// fsync-simulating backend and measures per-commit latency. Every commit
+// waits for its group's durability acknowledgement, so the measured
+// latency includes dwell, queueing behind the serialized sync, and the
+// simulated device time.
+func RunFlush(s Scheduler, cfg FlushConfig) (FlushPoint, error) {
+	backend := wal.NewLatencyBackend(cfg.SyncLatency, nil)
+	log, err := wal.Open(wal.Config{
+		Async:         true,
+		BatchInterval: cfg.BatchInterval,
+		MaxBatch:      cfg.MaxBatch,
+		Backend:       backend,
+	})
+	if err != nil {
+		return FlushPoint{}, err
+	}
+	ba := adt.BankAccount{
+		InitialBalance: cfg.InitialBalance,
+		MaxBalance:     12,
+		Amounts:        []int{1, 2, 3},
+	}
+	rel := bankRelation(s, adt.DefaultBankAccount())
+	e := txn.NewEngine(txn.Options{Shards: cfg.Shards, WAL: log})
+	for i := 0; i < cfg.Objects; i++ {
+		e.MustRegister(scalingObjID(i), ba, rel, s.Kind())
+	}
+
+	// The workload is the shared banking worker loop; only the per-commit
+	// stopwatch differs from the scaling sweep. Per-worker slices need no
+	// lock: the hook runs on the committing worker's goroutine.
+	latencies := make([][]time.Duration, cfg.Workers)
+	start := time.Now()
+	runBankWorkers(e, cfg.ScalingConfig, func(w int, d time.Duration) {
+		latencies[w] = append(latencies[w], d)
+	})
+	elapsed := time.Since(start)
+	if err := e.Close(); err != nil {
+		return FlushPoint{}, err
+	}
+
+	var all []time.Duration
+	for _, ls := range latencies {
+		all = append(all, ls...)
+	}
+	p := FlushPoint{
+		Scheduler:       s.String(),
+		BatchIntervalUS: cfg.BatchInterval.Microseconds(),
+		SyncLatencyUS:   cfg.SyncLatency.Microseconds(),
+		MaxBatch:        cfg.MaxBatch,
+		Workers:         cfg.Workers,
+		Commits:         e.Metrics.Commits.Load(),
+		Aborts:          e.Metrics.Aborts.Load(),
+		Syncs:           backend.Syncs(),
+		WALRecords:      backend.SyncedRecords(),
+		CommitP50US:     float64(percentile(all, 50)) / 1e3,
+		CommitP99US:     float64(percentile(all, 99)) / 1e3,
+		ElapsedNS:       elapsed.Nanoseconds(),
+	}
+	if p.Syncs > 0 {
+		p.MeanBatch = float64(p.WALRecords) / float64(p.Syncs)
+	}
+	if elapsed > 0 {
+		p.TxnPerSec = float64(p.Commits) / elapsed.Seconds()
+	}
+	return p, nil
+}
+
+// percentile returns the pth percentile (nearest-rank) of ds in
+// nanoseconds, 0 if empty.
+func percentile(ds []time.Duration, p float64) int64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return int64(sorted[rank])
+}
+
+// FlushSweep measures the workload at every batch-interval × sync-latency
+// combination — the group-commit trade-off surface.
+func FlushSweep(s Scheduler, cfg FlushConfig, intervals, latencies []time.Duration) ([]FlushPoint, error) {
+	out := make([]FlushPoint, 0, len(intervals)*len(latencies))
+	for _, bi := range intervals {
+		for _, sl := range latencies {
+			c := cfg
+			c.BatchInterval = bi
+			c.SyncLatency = sl
+			p, err := RunFlush(s, c)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// RenderFlushTable renders sweep points as a fixed-width table.
+func RenderFlushTable(title string, points []FlushPoint) string {
+	b := fmt.Sprintf("%s\n%-12s %10s %9s %8s %7s %9s %10s %10s %10s\n",
+		title, "scheduler", "dwell(us)", "sync(us)", "commits", "syncs", "meanbatch", "p50(us)", "p99(us)", "txn/s")
+	for _, p := range points {
+		b += fmt.Sprintf("%-12s %10d %9d %8d %7d %9.1f %10.0f %10.0f %10.0f\n",
+			p.Scheduler, p.BatchIntervalUS, p.SyncLatencyUS, p.Commits, p.Syncs,
+			p.MeanBatch, p.CommitP50US, p.CommitP99US, p.TxnPerSec)
+	}
+	return b
+}

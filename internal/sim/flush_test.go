@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunFlushMeasures: a single flush point produces sane measurements —
+// commits happened, every commit's records were synced, and the latency
+// percentiles are populated and ordered.
+func TestRunFlushMeasures(t *testing.T) {
+	cfg := DefaultFlushConfig()
+	cfg.TxnsPerWorker = 20
+	cfg.BatchInterval = 200 * time.Microsecond
+	cfg.SyncLatency = 50 * time.Microsecond
+	p, err := RunFlush(UIPNRBC, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Commits == 0 {
+		t.Fatal("no commits")
+	}
+	if p.Syncs == 0 || p.WALRecords == 0 {
+		t.Fatalf("nothing reached the backend: %+v", p)
+	}
+	if p.MeanBatch < 1 {
+		t.Fatalf("mean batch %v < 1", p.MeanBatch)
+	}
+	if p.CommitP50US <= 0 || p.CommitP99US < p.CommitP50US {
+		t.Fatalf("implausible percentiles: p50=%v p99=%v", p.CommitP50US, p.CommitP99US)
+	}
+	// Commit latency includes the dwell: p50 must be at least the batch
+	// interval (the flusher waits it out before sequencing).
+	if p.CommitP50US < float64(p.BatchIntervalUS) {
+		t.Errorf("p50 %vus below the %vus dwell: acks are not gated on the flusher",
+			p.CommitP50US, p.BatchIntervalUS)
+	}
+}
+
+// TestFlushSweepTradeoff: the sweep covers the grid, and the group-commit
+// trade-off materializes — at a fixed sync latency, a longer dwell
+// produces fewer syncs and larger batches than no dwell.
+func TestFlushSweepTradeoff(t *testing.T) {
+	cfg := DefaultFlushConfig()
+	cfg.TxnsPerWorker = 25
+	intervals := []time.Duration{0, time.Millisecond}
+	latencies := []time.Duration{0, 100 * time.Microsecond}
+	pts, err := FlushSweep(UIPNRBC, cfg, intervals, latencies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points = %d, want 4", len(pts))
+	}
+	byKey := map[[2]int64]FlushPoint{}
+	for _, p := range pts {
+		byKey[[2]int64{p.BatchIntervalUS, p.SyncLatencyUS}] = p
+	}
+	noDwell := byKey[[2]int64{0, 100}]
+	dwell := byKey[[2]int64{1000, 100}]
+	if dwell.Syncs >= noDwell.Syncs {
+		t.Errorf("dwell did not reduce syncs: %d with dwell vs %d without", dwell.Syncs, noDwell.Syncs)
+	}
+	if dwell.MeanBatch <= noDwell.MeanBatch {
+		t.Errorf("dwell did not grow batches: %.1f with dwell vs %.1f without",
+			dwell.MeanBatch, noDwell.MeanBatch)
+	}
+	out := RenderFlushTable("flush", pts)
+	if len(out) < 80 {
+		t.Errorf("table too short: %q", out)
+	}
+}

@@ -37,6 +37,15 @@ type ScalingConfig struct {
 	// AbortPct aborts the transaction voluntarily after its operations,
 	// exercising the undo path under concurrency.
 	AbortPct int
+	// ZipfS, when > 1, selects objects zipfian with skew exponent s —
+	// low-numbered objects become hot spots, and raising s concentrates
+	// contention the way skewed real-world key popularity does. Values
+	// <= 1 select uniformly (math/rand's zipf generator requires s > 1).
+	ZipfS float64
+	// ThinkIters adds deterministic busy work (with scheduler yields)
+	// after each operation while locks are held, as in BankingConfig, so
+	// contention is observable even at GOMAXPROCS=1. Zero means none.
+	ThinkIters int
 	// InitialBalance seeds every account.
 	InitialBalance int
 	// Shards is passed to txn.Options (0 = engine default).
@@ -67,6 +76,77 @@ func scalingObjID(i int) history.ObjectID {
 	return history.ObjectID(fmt.Sprintf("obj%03d", i))
 }
 
+// runBankWorkers drives cfg's worker loop against e: each worker runs
+// TxnsPerWorker transactions of OpsPerTxn mixed operations on (optionally
+// zipfian) random objects, with optional think time and voluntary aborts.
+// onCommit, when non-nil, receives each successful commit's latency from
+// the committing worker's goroutine — the flush sweep's measurement hook.
+// It is the single workload definition shared by the scaling, contention,
+// and flush sweeps, so the sweeps stay comparable.
+func runBankWorkers(e *txn.Engine, cfg ScalingConfig, onCommit func(worker int, d time.Duration)) {
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*104729))
+			var zipf *rand.Zipf
+			if cfg.ZipfS > 1 {
+				zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Objects-1))
+			}
+			pickObj := func() history.ObjectID {
+				if zipf != nil {
+					return scalingObjID(int(zipf.Uint64()))
+				}
+				return scalingObjID(rng.Intn(cfg.Objects))
+			}
+			for i := 0; i < cfg.TxnsPerWorker; i++ {
+				tx := e.Begin()
+				failed := false
+				for op := 0; op < cfg.OpsPerTxn; op++ {
+					obj := pickObj()
+					amount := 1 + rng.Intn(3)
+					var err error
+					switch pick := rng.Intn(100); {
+					case pick < cfg.DepositPct:
+						_, err = tx.Invoke(obj, adt.Deposit(amount))
+					case pick < cfg.DepositPct+cfg.WithdrawPct:
+						_, err = tx.Invoke(obj, adt.Withdraw(amount))
+					default:
+						_, err = tx.Invoke(obj, adt.Balance())
+					}
+					if err != nil {
+						if !errors.Is(err, txn.ErrAborted) {
+							_ = tx.Abort()
+						}
+						failed = true
+						break
+					}
+					if cfg.ThinkIters > 0 {
+						think(cfg.ThinkIters)
+					}
+				}
+				if failed {
+					continue
+				}
+				if cfg.AbortPct > 0 && rng.Intn(100) < cfg.AbortPct {
+					_ = tx.Abort()
+					continue
+				}
+				if onCommit == nil {
+					_ = tx.Commit()
+					continue
+				}
+				c0 := time.Now()
+				if err := tx.Commit(); err == nil {
+					onCommit(w, time.Since(c0))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 // ScalingPoint is one measured point of the shard/GOMAXPROCS sweep.
 type ScalingPoint struct {
 	Scheduler  string  `json:"scheduler"`
@@ -74,6 +154,7 @@ type ScalingPoint struct {
 	Shards     int     `json:"shards"`
 	Objects    int     `json:"objects"`
 	Workers    int     `json:"workers"`
+	ZipfS      float64 `json:"zipf_s,omitempty"`
 	Commits    int64   `json:"commits"`
 	Aborts     int64   `json:"aborts"`
 	Deadlocks  int64   `json:"deadlocks"`
@@ -101,47 +182,7 @@ func RunScaling(s Scheduler, cfg ScalingConfig) (ScalingPoint, *txn.Engine) {
 	}
 
 	start := time.Now()
-	var wg sync.WaitGroup
-	for w := 0; w < cfg.Workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*104729))
-			for i := 0; i < cfg.TxnsPerWorker; i++ {
-				tx := e.Begin()
-				failed := false
-				for op := 0; op < cfg.OpsPerTxn; op++ {
-					obj := scalingObjID(rng.Intn(cfg.Objects))
-					amount := 1 + rng.Intn(3)
-					var err error
-					switch pick := rng.Intn(100); {
-					case pick < cfg.DepositPct:
-						_, err = tx.Invoke(obj, adt.Deposit(amount))
-					case pick < cfg.DepositPct+cfg.WithdrawPct:
-						_, err = tx.Invoke(obj, adt.Withdraw(amount))
-					default:
-						_, err = tx.Invoke(obj, adt.Balance())
-					}
-					if err != nil {
-						if !errors.Is(err, txn.ErrAborted) {
-							_ = tx.Abort()
-						}
-						failed = true
-						break
-					}
-				}
-				if failed {
-					continue
-				}
-				if cfg.AbortPct > 0 && rng.Intn(100) < cfg.AbortPct {
-					_ = tx.Abort()
-					continue
-				}
-				_ = tx.Commit()
-			}
-		}(w)
-	}
-	wg.Wait()
+	runBankWorkers(e, cfg, nil)
 	elapsed := time.Since(start)
 
 	p := ScalingPoint{
@@ -150,6 +191,7 @@ func RunScaling(s Scheduler, cfg ScalingConfig) (ScalingPoint, *txn.Engine) {
 		Shards:     e.Shards(),
 		Objects:    cfg.Objects,
 		Workers:    cfg.Workers,
+		ZipfS:      cfg.ZipfS,
 		Commits:    e.Metrics.Commits.Load(),
 		Aborts:     e.Metrics.Aborts.Load(),
 		Deadlocks:  e.Metrics.Deadlocks.Load(),
@@ -164,6 +206,30 @@ func RunScaling(s Scheduler, cfg ScalingConfig) (ScalingPoint, *txn.Engine) {
 		p.TxnPerSec = float64(p.Commits) / elapsed.Seconds()
 	}
 	return p, e
+}
+
+// AbortRate returns the fraction of finished transactions that aborted.
+func (p ScalingPoint) AbortRate() float64 {
+	total := p.Commits + p.Aborts
+	if total == 0 {
+		return 0
+	}
+	return float64(p.Aborts) / float64(total)
+}
+
+// ContentionSweep measures the workload at each zipf skew, holding the
+// rest of the configuration fixed: as s rises the object distribution
+// collapses onto a few hot objects and the abort (deadlock) rate climbs —
+// the contention axis of the scaling story.
+func ContentionSweep(s Scheduler, cfg ScalingConfig, skews []float64) []ScalingPoint {
+	out := make([]ScalingPoint, 0, len(skews))
+	for _, z := range skews {
+		c := cfg
+		c.ZipfS = z
+		p, _ := RunScaling(s, c)
+		out = append(out, p)
+	}
+	return out
 }
 
 // ScalingSweep measures the workload at each shard count, holding the rest

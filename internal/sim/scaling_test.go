@@ -210,6 +210,61 @@ func mustInvoke(t *testing.T, tx *txn.Txn, obj history.ObjectID, inv spec.Invoca
 	}
 }
 
+// TestZipfContentionSweep: raising the zipfian skew concentrates the
+// workload onto ever-fewer hot objects, so the deadlock-abort rate must
+// rise monotonically with skew (no voluntary aborts are configured, so
+// every abort is a deadlock victim). Read/write locking maximizes the
+// conflict surface; think-time keeps lock windows overlapping at
+// GOMAXPROCS=1. The sweep stays in the multi-hot-object regime (s <= 1.5):
+// at extreme skew essentially every operation hits object 0, transactions
+// serialize on a single lock, and deadlock cycles — which need two objects
+// — disappear again, so the rate-vs-skew curve is a rise followed by a
+// collapse and only the rise is a meaningful monotonicity assertion.
+func TestZipfContentionSweep(t *testing.T) {
+	cfg := ScalingConfig{
+		Objects: 32, Workers: 8, TxnsPerWorker: 30, OpsPerTxn: 4,
+		DepositPct: 45, WithdrawPct: 45, AbortPct: 0,
+		InitialBalance: 1_000_000, Shards: 8, Seed: 17, ThinkIters: 400,
+	}
+	skews := []float64{0, 1.1, 1.4} // 0 = uniform
+	seeds := []int64{17, 29, 43}
+	// Scheduling noise on a single run can rival the between-skew gaps, so
+	// each point averages several seeded runs.
+	rates := make([]float64, len(skews))
+	for _, seed := range seeds {
+		c := cfg
+		c.Seed = seed
+		pts := ContentionSweep(UIPRW, c, skews)
+		for i, p := range pts {
+			if p.Commits+p.Aborts == 0 {
+				t.Fatalf("skew %v: no transactions finished", skews[i])
+			}
+			if p.Aborts != p.Deadlocks {
+				t.Errorf("skew %v: %d aborts but %d deadlocks; with AbortPct=0 every abort is a victim",
+					skews[i], p.Aborts, p.Deadlocks)
+			}
+			if p.ZipfS != skews[i] {
+				t.Errorf("point %d: zipf_s = %v, want %v", i, p.ZipfS, skews[i])
+			}
+			rates[i] += p.AbortRate() / float64(len(seeds))
+			t.Logf("seed %2d skew %-4v: commits %4d aborts %4d rate %.3f blocked %d",
+				seed, skews[i], p.Commits, p.Aborts, p.AbortRate(), p.Blocked)
+		}
+	}
+	// Monotone rise, with a small tolerance for residual noise between
+	// adjacent points; the endpoints must separate decisively.
+	for i := 1; i < len(rates); i++ {
+		if rates[i] < rates[i-1]-0.03 {
+			t.Errorf("mean abort rate fell with skew: %.3f at %v -> %.3f at %v",
+				rates[i-1], skews[i-1], rates[i], skews[i])
+		}
+	}
+	if rates[len(rates)-1] < rates[0]+0.08 {
+		t.Errorf("contention did not rise across the sweep: uniform %.3f, max skew %.3f",
+			rates[0], rates[len(rates)-1])
+	}
+}
+
 // TestScalingSweepShape: the sweep produces one point per shard count with
 // the normalized shard value recorded, and every point conserves work.
 func TestScalingSweepShape(t *testing.T) {

@@ -1,0 +1,62 @@
+package txn
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/wal"
+)
+
+// failingBackend refuses every sync — a dead log device.
+type failingBackend struct{ err error }
+
+func (b *failingBackend) Sync([]wal.Record) error { return b.err }
+func (b *failingBackend) Close() error            { return nil }
+
+// TestCommitSurfacesBackendFailure: when the WAL backend cannot persist
+// the group-commit batch, Commit must return an error rather than ack a
+// commit that never became durable — in both flush modes.
+func TestCommitSurfacesBackendFailure(t *testing.T) {
+	devErr := errors.New("log device gone")
+	for _, mode := range []struct {
+		name string
+		cfg  wal.Config
+	}{
+		{"sync", wal.Config{Backend: &failingBackend{err: devErr}}},
+		{"async", wal.Config{Async: true, Backend: &failingBackend{err: devErr}}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			log, err := wal.Open(mode.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ba := adt.DefaultBankAccount()
+			e := NewEngine(Options{WAL: log})
+			e.MustRegister("X", ba, ba.NRBC(), UndoLogRecovery)
+			tx := e.Begin()
+			if _, err := tx.Invoke("X", adt.Deposit(3)); err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.Commit(); !errors.Is(err, devErr) {
+				t.Fatalf("Commit = %v, want the backend failure surfaced", err)
+			}
+			// The in-memory engine remains consistent: effects applied,
+			// locks released, a new transaction can read the state.
+			tx2 := e.Begin()
+			res, err := tx2.Invoke("X", adt.Balance())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res != "3" {
+				t.Fatalf("balance after failed-durability commit = %q, want 3", res)
+			}
+			if err := tx2.Commit(); !errors.Is(err, devErr) {
+				t.Fatalf("second Commit = %v, want the sticky backend failure", err)
+			}
+			if err := e.Close(); !errors.Is(err, devErr) {
+				t.Fatalf("Close = %v, want the backend failure", err)
+			}
+		})
+	}
+}

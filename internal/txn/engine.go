@@ -15,8 +15,12 @@
 // into the single totally ordered history the post-hoc checkers replay, so
 // scaling the hot path costs the verification story nothing. The shared
 // write-ahead log is group-committed: undo-log objects stage records
-// lock-free of the log and Txn.Commit/Abort flush the batch, which assigns
-// one contiguous LSN range per group (see package wal).
+// lock-free of the log and Txn.Commit/Abort issue a flush barrier, which
+// assigns the batch one contiguous LSN range. With an asynchronous log
+// (Options.WAL built by wal.Open with Async set), sequencing and backend
+// syncs run on a dedicated flusher goroutine and Commit merely waits for
+// its acknowledgement — commits are durable to whatever degree the
+// configured wal.Backend provides (see package wal).
 //
 // The engine realizes exactly the parameters of I(X, Spec, View, Conflict):
 // pairing an UndoLog store with an NRBC-containing relation yields a
@@ -96,6 +100,12 @@ type Options struct {
 	// Shards is the number of registry shards; it is rounded up to a power
 	// of two. Zero selects a default derived from GOMAXPROCS.
 	Shards int
+	// WAL, when non-nil, is the shared write-ahead log the engine's
+	// undo-log objects stage into — typically a wal.Open'd log with an
+	// asynchronous flusher and a durable backend. Nil selects a
+	// synchronous in-memory log (wal.New). The engine takes ownership:
+	// Engine.Close closes it.
+	WAL *wal.Log
 }
 
 // normalizeShards rounds n up to a power of two within
@@ -148,10 +158,14 @@ type managedObject struct {
 // NewEngine builds an engine.
 func NewEngine(opts Options) *Engine {
 	n := normalizeShards(opts.Shards)
+	log := opts.WAL
+	if log == nil {
+		log = wal.New()
+	}
 	e := &Engine{
 		opts:     opts,
 		detector: locking.NewDetector(),
-		log:      wal.New(),
+		log:      log,
 		shards:   make([]*engineShard, n),
 		mask:     uint32(n - 1),
 	}
@@ -170,6 +184,12 @@ func (e *Engine) Shards() int { return len(e.shards) }
 // WAL returns the engine's shared write-ahead log (used by undo-log
 // objects; inspectable in tests).
 func (e *Engine) WAL() *wal.Log { return e.log }
+
+// Close shuts down the engine's write-ahead log: staged records are
+// sequenced and synced, the flusher (if asynchronous) is stopped, and the
+// durability backend is closed. Call it when the engine is quiescent; it
+// returns the first backend sync failure, if any.
+func (e *Engine) Close() error { return e.log.Close() }
 
 // shardOf returns the shard owning id.
 func (e *Engine) shardOf(id history.ObjectID) *engineShard {
@@ -376,9 +396,12 @@ func (t *Txn) touch(mo *managedObject) {
 // each. With the single-process engine the prepare phase cannot fail after
 // successful operations, but the structure mirrors the atomic-commitment
 // protocols the paper's model assumes. Commit is the group-commit point:
-// after the per-object sweep it flushes the shared WAL, batching this
-// transaction's staged records — and those of every concurrently committing
-// transaction — into one contiguous LSN assignment.
+// after the per-object sweep it issues a flush barrier on the shared WAL,
+// batching this transaction's staged records — and those of every
+// concurrently committing transaction — into one contiguous LSN
+// assignment. The barrier returns only after the batch reaches the log's
+// durability backend, so Commit's success means the commit records are as
+// durable as the backend provides.
 func (t *Txn) Commit() error {
 	if !t.state.CompareAndSwap(int32(active), int32(committed)) {
 		return fmt.Errorf("txn %s: commit: %w", t.id, ErrNotActive)
@@ -409,6 +432,14 @@ func (t *Txn) Commit() error {
 	}
 	if t.wroteWAL {
 		e.log.Flush()
+		if err := e.log.Err(); err != nil {
+			// The transaction is committed in memory (locks are released,
+			// effects visible) but the durable log is behind: fail loudly
+			// rather than ack a commit the backend never persisted.
+			e.detector.ClearWaits(t.id)
+			e.Metrics.Commits.Add(1)
+			return fmt.Errorf("txn %s: committed in memory but WAL backend failed: %w", t.id, err)
+		}
 	}
 	e.detector.ClearWaits(t.id)
 	e.Metrics.Commits.Add(1)
@@ -440,6 +471,11 @@ func (t *Txn) Abort() error {
 	}
 	if t.wroteWAL {
 		e.log.Flush()
+		if err := e.log.Err(); err != nil {
+			e.detector.ClearWaits(t.id)
+			e.Metrics.Aborts.Add(1)
+			return fmt.Errorf("txn %s: aborted in memory but WAL backend failed: %w", t.id, err)
+		}
 	}
 	e.detector.ClearWaits(t.id)
 	e.Metrics.Aborts.Add(1)

@@ -1,0 +1,319 @@
+package wal
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+// Backend is the durability seam beneath the group-commit flusher: Sync is
+// called once per sequenced batch, with records in LSN order, and must not
+// return until the batch is as durable as the backend provides. Commit
+// acknowledgements are withheld until Sync returns. Sync is never called
+// concurrently (the flush lock serializes batches).
+type Backend interface {
+	Sync(records []Record) error
+	Close() error
+}
+
+// Replayer is implemented by backends that can hand back the records that
+// survived a previous incarnation (a re-opened file backend). Open loads
+// replayed records into the committed region before accepting new appends.
+type Replayer interface {
+	Replay() []Record
+}
+
+// EncodedUndo is an undo token in its durable string form. Producers that
+// need their tokens to survive a file-backend round trip stage records
+// with EncodedUndo (see adt.UndoTokenCodec and recovery.UndoLog);
+// recovery.Restart hands the string back to the machine's decoder.
+type EncodedUndo string
+
+// Discard is the in-memory backend: batches are sequenced but never leave
+// process memory — the log's historical behavior, and the default.
+var Discard Backend = discard{}
+
+type discard struct{}
+
+func (discard) Sync([]Record) error { return nil }
+func (discard) Close() error        { return nil }
+
+// LatencyBackend simulates a storage device with a fixed per-sync latency
+// (an fsync cost model), optionally delegating to an inner backend after
+// the delay. It makes the group-commit trade-off measurable: batch
+// interval buys fewer, larger syncs at the price of commit latency.
+type LatencyBackend struct {
+	delay time.Duration
+	inner Backend
+	syncs atomic.Int64
+	recs  atomic.Int64
+}
+
+// NewLatencyBackend builds a latency-simulating backend; inner may be nil.
+func NewLatencyBackend(delay time.Duration, inner Backend) *LatencyBackend {
+	return &LatencyBackend{delay: delay, inner: inner}
+}
+
+// Sync implements Backend.
+func (b *LatencyBackend) Sync(records []Record) error {
+	if b.delay > 0 {
+		time.Sleep(b.delay)
+	}
+	b.syncs.Add(1)
+	b.recs.Add(int64(len(records)))
+	if b.inner != nil {
+		return b.inner.Sync(records)
+	}
+	return nil
+}
+
+// Close implements Backend.
+func (b *LatencyBackend) Close() error {
+	if b.inner != nil {
+		return b.inner.Close()
+	}
+	return nil
+}
+
+// Syncs returns the number of Sync calls served.
+func (b *LatencyBackend) Syncs() int64 { return b.syncs.Load() }
+
+// SyncedRecords returns the total records synced (SyncedRecords/Syncs is
+// the mean durable batch size).
+func (b *LatencyBackend) SyncedRecords() int64 { return b.recs.Load() }
+
+// FileBackend encodes each batch to an append-only file and fsyncs it —
+// real durability. A crashed log is recovered by OpenFileBackend, which
+// scans the surviving records (discarding a torn tail from a crash
+// mid-write) and replays them into a fresh Log via wal.Open.
+type FileBackend struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	replay []Record
+	closed bool
+	syncs  atomic.Int64
+}
+
+// CreateFileBackend creates (or truncates) the file at path and returns an
+// empty file backend.
+func CreateFileBackend(path string) (*FileBackend, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: create file backend: %w", err)
+	}
+	return &FileBackend{f: f, path: path}, nil
+}
+
+// OpenFileBackend re-opens an existing log file after a crash: it scans
+// the surviving records, truncates any torn tail (a partially written
+// final record), and positions the backend to append after the last whole
+// record. The scanned records are available through Replay, so
+// wal.Open(Config{Backend: b}) reconstructs the durable log.
+func OpenFileBackend(path string) (*FileBackend, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open file backend: %w", err)
+	}
+	recs, clean, err := scanFileLog(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(clean); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(clean, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: seek: %w", err)
+	}
+	return &FileBackend{f: f, path: path, replay: recs}, nil
+}
+
+// ReadFileLog decodes the records of a log file without opening it for
+// appending (diagnostics, tests). A torn tail is silently discarded.
+func ReadFileLog(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, _, err := scanFileLog(f)
+	return recs, err
+}
+
+// Path returns the backing file path.
+func (b *FileBackend) Path() string { return b.path }
+
+// Replay implements Replayer: the records that survived the crash, in LSN
+// order.
+func (b *FileBackend) Replay() []Record { return b.replay }
+
+// Syncs returns the number of batches fsynced.
+func (b *FileBackend) Syncs() int64 { return b.syncs.Load() }
+
+// Sync implements Backend: encode the batch, write it in one call, and
+// fsync. The whole batch is encoded before any byte is written, so an
+// unencodable record rejects the batch atomically — a partial batch on
+// disk would otherwise surface after the next successful sync as an LSN
+// gap that OpenFileBackend must treat as corruption.
+func (b *FileBackend) Sync(records []Record) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return fmt.Errorf("wal: sync on closed file backend %s", b.path)
+	}
+	var batch strings.Builder
+	for _, r := range records {
+		line, err := encodeRecord(r)
+		if err != nil {
+			return err
+		}
+		batch.WriteString(line)
+	}
+	if _, err := b.f.WriteString(batch.String()); err != nil {
+		return fmt.Errorf("wal: write %s: %w", b.path, err)
+	}
+	if err := b.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync %s: %w", b.path, err)
+	}
+	b.syncs.Add(1)
+	return nil
+}
+
+// Close implements Backend. Idempotent.
+func (b *FileBackend) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil
+	}
+	b.closed = true
+	if err := b.f.Sync(); err != nil {
+		b.f.Close()
+		return err
+	}
+	return b.f.Close()
+}
+
+// File format: one record per '\n'-terminated line of tab-separated
+// fields — lsn, kind, txn, obj, prevLSN, invocation name, invocation args,
+// response, undo — with tabs/newlines/backslashes escaped inside string
+// fields. The undo field is "-" for nil or "e" + the escaped EncodedUndo
+// string. The format is append-only and self-delimiting, so a crash
+// mid-write leaves at most one torn final line, which the scanner
+// discards.
+
+var fileEscaper = strings.NewReplacer("\\", "\\\\", "\t", "\\t", "\n", "\\n")
+var fileUnescaper = strings.NewReplacer("\\\\", "\\", "\\t", "\t", "\\n", "\n")
+
+func encodeRecord(r Record) (string, error) {
+	var undo string
+	switch u := r.Undo.(type) {
+	case nil:
+		undo = "-"
+	case EncodedUndo:
+		undo = "e" + fileEscaper.Replace(string(u))
+	default:
+		return "", fmt.Errorf("wal: file backend cannot encode undo token of type %T at LSN %d "+
+			"(stage it as wal.EncodedUndo; see adt.UndoTokenCodec)", r.Undo, r.LSN)
+	}
+	return fmt.Sprintf("%d\t%d\t%s\t%s\t%d\t%s\t%s\t%s\t%s\n",
+		r.LSN, int(r.Kind),
+		fileEscaper.Replace(string(r.Txn)),
+		fileEscaper.Replace(string(r.Obj)),
+		r.PrevLSN,
+		fileEscaper.Replace(r.Op.Inv.Name),
+		fileEscaper.Replace(r.Op.Inv.Args),
+		fileEscaper.Replace(string(r.Op.Res)),
+		undo), nil
+}
+
+func decodeRecord(line string) (Record, error) {
+	fields := strings.Split(line, "\t")
+	if len(fields) != 9 {
+		return Record{}, fmt.Errorf("wal: record has %d fields, want 9", len(fields))
+	}
+	lsn, err := strconv.ParseUint(fields[0], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("wal: bad LSN %q", fields[0])
+	}
+	kind, err := strconv.Atoi(fields[1])
+	if err != nil || kind < int(Update) || kind > int(CompensationRec) {
+		return Record{}, fmt.Errorf("wal: bad record kind %q", fields[1])
+	}
+	prev, err := strconv.ParseUint(fields[4], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("wal: bad PrevLSN %q", fields[4])
+	}
+	r := Record{
+		LSN:     LSN(lsn),
+		Kind:    RecordKind(kind),
+		Txn:     history.TxnID(fileUnescaper.Replace(fields[2])),
+		Obj:     history.ObjectID(fileUnescaper.Replace(fields[3])),
+		PrevLSN: LSN(prev),
+		Op: spec.Operation{
+			Inv: spec.Invocation{
+				Name: fileUnescaper.Replace(fields[5]),
+				Args: fileUnescaper.Replace(fields[6]),
+			},
+			Res: spec.Response(fileUnescaper.Replace(fields[7])),
+		},
+	}
+	switch undo := fields[8]; {
+	case undo == "-":
+	case strings.HasPrefix(undo, "e"):
+		r.Undo = EncodedUndo(fileUnescaper.Replace(undo[1:]))
+	default:
+		return Record{}, fmt.Errorf("wal: bad undo field %q", undo)
+	}
+	return r, nil
+}
+
+// scanFileLog reads records from the start of f, returning them with the
+// byte offset of the end of the last whole record. A torn tail — a final
+// line missing its newline or failing to decode — is discarded; a
+// malformed line with further lines after it is corruption and errors.
+func scanFileLog(f *os.File) ([]Record, int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, err
+	}
+	br := bufio.NewReader(f)
+	var recs []Record
+	var clean int64
+	for {
+		line, err := br.ReadString('\n')
+		if err == io.EOF {
+			// line (if any) has no terminator: torn tail, discard.
+			return recs, clean, nil
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("wal: scan log file: %w", err)
+		}
+		r, derr := decodeRecord(strings.TrimSuffix(line, "\n"))
+		if derr != nil {
+			// Only acceptable as the very last line (torn by a crash
+			// mid-write that still got the newline out); peek ahead.
+			if _, perr := br.ReadByte(); perr == io.EOF {
+				return recs, clean, nil
+			}
+			return nil, 0, fmt.Errorf("wal: corrupt log record before offset %d: %w",
+				clean+int64(len(line)), derr)
+		}
+		if want := LSN(len(recs)) + 1; r.LSN != want {
+			return nil, 0, fmt.Errorf("wal: log file LSN %d out of sequence (want %d)", r.LSN, want)
+		}
+		recs = append(recs, r)
+		clean += int64(len(line))
+	}
+}

@@ -2,28 +2,48 @@
 // update-in-place recovery manager: an append-only sequence of typed
 // records with monotonically increasing LSNs and per-transaction backward
 // chains, supporting the abort-time backward walk that operation-logging
-// recovery performs.
+// recovery performs, and — through the Backend seam — durable storage that
+// recovery.Restart can replay after a crash.
 //
 // Appends are staged: AppendAsync publishes a record to a per-stripe
 // staging buffer (striped by transaction, so one transaction's records stay
 // FIFO) without touching the committed region of the log. Every staged
 // record is stamped from one atomic counter; since the recovery manager
 // stages while holding the object latch, stamp order agrees with each
-// object's true execution order. Flush — invoked by committing
-// transactions, or implicitly by any reader — drains every stripe, sorts
-// the batch by stamp, and assigns it one contiguous LSN range, fixing up
-// each transaction's backward PrevLSN chain as it goes. LSN order is
-// therefore consistent with per-object and per-transaction execution order
-// even across transactions in one batch — the invariant the Restart redo
-// pass replays by. Concurrent committers share a single flusher: while one
-// transaction holds the flush lock, the records of every other committing
-// transaction pile into the staging buffers and are sequenced by the next
-// holder in one batch — classic group commit.
+// object's true execution order. Sequencing — draining every stripe,
+// sorting the batch by stamp, and assigning it one contiguous LSN range
+// while fixing up each transaction's backward PrevLSN chain — happens in
+// one of two modes:
+//
+//   - Synchronous (New, NewStriped, or Open with Async unset): Flush
+//     sequences inline on the calling goroutine, exactly classic group
+//     commit — while one committer holds the flush lock, other committers'
+//     records pile into the staging buffers and are sequenced by the next
+//     holder in one batch.
+//
+//   - Asynchronous (Open with Async set): a dedicated flusher goroutine
+//     owns sequencing. Flush becomes a commit barrier: the caller registers
+//     a waiter, wakes the flusher, and sleeps until the batch containing
+//     everything staged before the call has been sequenced and handed to
+//     the durability backend. The flusher dwells up to BatchInterval after
+//     waking (cut short when MaxBatch records are pending), so the
+//     batch-size-versus-commit-latency trade-off of group commit becomes a
+//     measurable configuration rather than an accident of scheduling.
+//
+// In both modes LSN order is consistent with per-object and per-transaction
+// execution order even across transactions in one batch — the invariant the
+// Restart redo pass replays by. After sequencing, each batch is handed to
+// the configured Backend (an in-memory no-op by default; see backend.go for
+// the fsync-simulating and file backends); commit acknowledgement happens
+// only after the backend's Sync returns, so an acked commit is durable to
+// whatever degree the backend provides.
 //
 // The paper deliberately abstracts recovery to the View function; this
 // package is the executable substrate beneath the UIP abstraction — what
-// System R-style recovery managers actually maintain. Crash recovery is out
-// of scope (as in the paper); the log supports transaction abort only.
+// System R-style recovery managers actually maintain. The log supports
+// transaction abort and, via a durable backend plus recovery.Restart,
+// crash restart (the engineering extension the paper's Section 1 leaves
+// out of scope).
 package wal
 
 import (
@@ -32,6 +52,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/history"
 	"repro/internal/spec"
@@ -81,14 +102,21 @@ type Record struct {
 	Op      spec.Operation
 	PrevLSN LSN // previous record of the same transaction (0 if first)
 	// Undo is the opaque undo token captured before applying the operation
-	// (nil when the machine's logical inverse needs no token).
+	// (nil when the machine's logical inverse needs no token). Tokens that
+	// must survive a durable backend round trip are staged in their
+	// EncodedUndo form (see backend.go); recovery.Restart decodes them with
+	// the machine's codec.
 	Undo any
 }
 
-// stagedRec is a staged record awaiting LSN assignment. The flusher writes
-// lsn before releasing the flush lock, so an appender that stages and then
-// calls Flush observes its assignment. stamp is the stage-time sequence
-// the flusher sorts by.
+// stagedRec is a staged record awaiting LSN assignment. lsn is written by
+// whichever goroutine sequences the batch and published to the appender by
+// the flush acknowledgement: in synchronous mode the appender's own Flush
+// acquires the flush lock the sequencer held while writing; in asynchronous
+// mode the flusher closes the appender's barrier channel after writing.
+// Either edge establishes the happens-before an appender needs to read lsn
+// after Flush returns, even when a different goroutine sequenced the
+// record. stamp is the stage-time sequence the sequencer sorts by.
 type stagedRec struct {
 	rec   Record
 	stamp int64
@@ -102,8 +130,41 @@ type stripe struct {
 	staged []*stagedRec
 }
 
-// Log is an append-only in-memory log with group-committed LSN assignment.
-// It is safe for concurrent use.
+// CrashPoint is a test hook invoked after a batch is sequenced and before
+// it is handed to the backend. batch is the zero-based index of non-empty
+// batches since Open, and records is the sequenced batch. Returning true
+// simulates a crash at this staged/flushed boundary: this batch and every
+// later one silently never reach the backend, while in-memory sequencing
+// and commit acknowledgements continue — modelling a machine that dies
+// with the log tail still in volatile buffers, without hanging the live
+// workload that is generating the log.
+type CrashPoint func(batch int, records []Record) bool
+
+// Config parameterizes Open.
+type Config struct {
+	// Stripes is the number of staging stripes (rounded up to a power of
+	// two; 0 selects a default derived from GOMAXPROCS).
+	Stripes int
+	// Backend is the durability seam each sequenced batch is handed to.
+	// Nil means in-memory only (equivalent to Discard).
+	Backend Backend
+	// Async runs a dedicated flusher goroutine that owns sequencing;
+	// Flush becomes a commit barrier acknowledged after the backend sync.
+	// The owner must Close the log to stop the flusher.
+	Async bool
+	// BatchInterval is how long the asynchronous flusher dwells after
+	// waking before it sequences, letting concurrent committers' records
+	// accumulate into one batch. Zero sequences immediately.
+	BatchInterval time.Duration
+	// MaxBatch cuts the dwell short once this many records are staged
+	// (0 = no cap).
+	MaxBatch int
+	// CrashPoint, when non-nil, is the crash-injection hook (tests only).
+	CrashPoint CrashPoint
+}
+
+// Log is an append-only log with group-committed LSN assignment and a
+// pluggable durability backend. It is safe for concurrent use.
 type Log struct {
 	stripes []*stripe
 	mask    uint32
@@ -116,30 +177,135 @@ type Log struct {
 	mu      sync.Mutex
 	records []Record
 	lastOf  map[history.TxnID]LSN
+	syncErr error // first backend failure, under mu
+
+	backend Backend
+	crash   CrashPoint
+	crashed bool // under flushMu
+	// dead stops handing batches to the backend after the first Sync
+	// failure (under flushMu): appending later batches after a hole would
+	// turn the cleanly-synced prefix into an unreplayable file, whereas
+	// stopping leaves a durable prefix Restart can still recover. The
+	// failure itself stays sticky in syncErr.
+	dead bool
+
+	// Asynchronous-mode state. pending counts staged-but-unsequenced
+	// records for the MaxBatch trigger; wake and full nudge the flusher;
+	// waiters are the commit barriers acked after the next sequence+sync.
+	async         bool
+	batchInterval time.Duration
+	maxBatch      int
+	pending       atomic.Int64
+	wake          chan struct{}
+	full          chan struct{}
+	quit          chan struct{}
+	flusherDone   chan struct{}
+	waitMu        sync.Mutex
+	waiters       []chan struct{}
+	closeOnce     sync.Once
+	closeErr      error
 
 	// Batch diagnostics for the scaling benchmarks.
 	flushes atomic.Int64
 	flushed atomic.Int64
 }
 
-// New builds an empty log with a stripe count derived from GOMAXPROCS.
+// New builds an empty synchronous in-memory log with a stripe count derived
+// from GOMAXPROCS.
 func New() *Log {
 	return NewStriped(runtime.GOMAXPROCS(0))
 }
 
-// NewStriped builds an empty log with n staging stripes (rounded up to a
-// power of two, at least 1).
+// NewStriped builds an empty synchronous in-memory log with n staging
+// stripes (rounded up to a power of two, at least 1).
 func NewStriped(n int) *Log {
+	l, err := Open(Config{Stripes: n})
+	if err != nil {
+		panic(err) // unreachable: no backend, so nothing to replay
+	}
+	return l
+}
+
+// Open builds a log per cfg. If the backend implements Replayer (a
+// re-opened file backend), its surviving records are loaded into the
+// committed region first — LSN continuity and PrevLSN chains are verified —
+// so new appends continue the durable log and recovery.Restart can replay
+// it. In Async mode the caller owns the log and must Close it.
+func Open(cfg Config) (*Log, error) {
+	n := cfg.Stripes
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
 	p := stripepkg.RoundPow2(n, stripepkg.MaxStripes)
 	l := &Log{
 		stripes: make([]*stripe, p),
 		mask:    uint32(p - 1),
 		lastOf:  make(map[history.TxnID]LSN),
+		backend: cfg.Backend,
+		crash:   cfg.CrashPoint,
 	}
 	for i := range l.stripes {
 		l.stripes[i] = &stripe{}
 	}
-	return l
+	if rp, ok := cfg.Backend.(Replayer); ok && rp != nil {
+		for _, r := range rp.Replay() {
+			if want := LSN(len(l.records)) + 1; r.LSN != want {
+				return nil, fmt.Errorf("wal: replay: LSN %d out of sequence (want %d)", r.LSN, want)
+			}
+			if r.PrevLSN != l.lastOf[r.Txn] {
+				return nil, fmt.Errorf("wal: replay: LSN %d of %s chains to %d, want %d",
+					r.LSN, r.Txn, r.PrevLSN, l.lastOf[r.Txn])
+			}
+			l.records = append(l.records, r)
+			l.lastOf[r.Txn] = r.LSN
+		}
+	}
+	if cfg.Async {
+		l.async = true
+		l.batchInterval = cfg.BatchInterval
+		l.maxBatch = cfg.MaxBatch
+		l.wake = make(chan struct{}, 1)
+		l.full = make(chan struct{}, 1)
+		l.quit = make(chan struct{})
+		l.flusherDone = make(chan struct{})
+		go l.flusher()
+	}
+	return l, nil
+}
+
+// Close stops the flusher (sequencing and syncing whatever is staged) and
+// closes the backend. It returns the first backend sync error, if any.
+// Close is idempotent. The log must be quiescent: a Flush racing Close may
+// find the backend already closed, in which case its records stay
+// in-memory only and the failure is surfaced by Err and the next
+// Flush-checking caller, not by Close.
+func (l *Log) Close() error {
+	l.closeOnce.Do(func() {
+		if l.async {
+			close(l.quit)
+			<-l.flusherDone
+		}
+		// Drain anything staged after the flusher's final pass (or
+		// everything, in synchronous mode) before reading the error state.
+		l.flushOnce()
+		l.mu.Lock()
+		l.closeErr = l.syncErr
+		l.mu.Unlock()
+		if l.backend != nil {
+			if err := l.backend.Close(); l.closeErr == nil {
+				l.closeErr = err
+			}
+		}
+	})
+	return l.closeErr
+}
+
+// Err returns the first backend sync failure observed, if any. A non-nil
+// result means the in-memory log is ahead of the durable log.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncErr
 }
 
 func (l *Log) stripeOf(txn history.TxnID) *stripe {
@@ -149,7 +315,9 @@ func (l *Log) stripeOf(txn history.TxnID) *stripe {
 // stage publishes r to its transaction's staging stripe. The stamp is
 // taken under the stripe lock so that a transaction's records (always in
 // one stripe) carry strictly increasing stamps, and callers staging under
-// an object latch get stamps in the object's execution order.
+// an object latch get stamps in the object's execution order. In
+// asynchronous mode staging also nudges the flusher, so records are
+// eventually sequenced and made durable even if no committer ever flushes.
 func (l *Log) stage(r Record) *stagedRec {
 	s := &stagedRec{rec: r}
 	st := l.stripeOf(r.Txn)
@@ -157,30 +325,120 @@ func (l *Log) stage(r Record) *stagedRec {
 	s.stamp = l.stampSeq.Add(1)
 	st.staged = append(st.staged, s)
 	st.mu.Unlock()
+	if l.async {
+		if n := l.pending.Add(1); l.maxBatch > 0 && n >= int64(l.maxBatch) {
+			select {
+			case l.full <- struct{}{}:
+			default:
+			}
+		}
+		select {
+		case l.wake <- struct{}{}:
+		default:
+		}
+	}
 	return s
 }
 
 // AppendAsync stages a record without waiting for its LSN. The record is
-// sequenced by the next Flush (a committing transaction's group-commit
-// flush, or any reader). This is the engine's hot path: no log-wide lock.
+// sequenced by the next flush (a committing transaction's group-commit
+// barrier, any reader, or the background flusher). This is the engine's hot
+// path: no log-wide lock.
 func (l *Log) AppendAsync(r Record) {
 	l.stage(r)
 }
 
-// Append stages a record and flushes, returning the assigned LSN — the
+// Append stages a record, flushes, and returns the assigned LSN — the
 // synchronous path, equivalent to a group commit of whatever is staged.
+// The LSN read is safe even when a different goroutine's flusher sequenced
+// the record: Flush only returns after an acknowledgement that
+// happens-after the assignment (see stagedRec).
 func (l *Log) Append(r Record) LSN {
 	s := l.stage(r)
 	l.Flush()
 	return s.lsn
 }
 
-// Flush drains every staging stripe, sorts the batch by stage stamp, and
-// assigns it one contiguous LSN range, chaining each record to its
-// transaction's previous record. When Flush returns, every record staged
-// before the call is sequenced (by this flusher or an earlier one).
+// Flush guarantees that every record staged before the call is sequenced
+// and handed to the durability backend when it returns. In synchronous
+// mode the caller sequences inline (group-committing whatever other
+// committers have staged meanwhile). In asynchronous mode the caller
+// registers a commit barrier and sleeps until the flusher's
+// acknowledgement, which happens only after the backend sync — so a
+// committed transaction is durable when Flush returns. A failed backend
+// sync does not block the ack (the in-memory log stays usable); it is
+// recorded and exposed by Err, which durability-requiring callers must
+// check after Flush (txn.Commit does).
 func (l *Log) Flush() {
+	if !l.async {
+		l.flushOnce()
+		return
+	}
+	w := make(chan struct{})
+	l.waitMu.Lock()
+	l.waiters = append(l.waiters, w)
+	l.waitMu.Unlock()
+	select {
+	case l.wake <- struct{}{}:
+	default:
+	}
+	select {
+	case <-w:
+	case <-l.flusherDone:
+		// The flusher exited (Close raced with this barrier); sequence
+		// directly. flushOnce acks every registered waiter exactly once.
+		l.flushOnce()
+	}
+}
+
+// flusher is the dedicated sequencing goroutine of an asynchronous log.
+func (l *Log) flusher() {
+	defer close(l.flusherDone)
+	for {
+		select {
+		case <-l.quit:
+			l.flushOnce()
+			return
+		case <-l.wake:
+		}
+		if l.batchInterval > 0 {
+			t := time.NewTimer(l.batchInterval)
+			select {
+			case <-t.C:
+			case <-l.full:
+				t.Stop()
+			case <-l.quit:
+				t.Stop()
+				l.flushOnce()
+				return
+			}
+		}
+		l.flushOnce()
+	}
+}
+
+// flushOnce performs one sequencing round: snapshot the commit barriers,
+// drain every staging stripe, sort the batch by stage stamp, assign it one
+// contiguous LSN range (chaining each record to its transaction's previous
+// record), hand the batch to the backend, and acknowledge the snapshotted
+// barriers. Barriers registered after the snapshot have a wake pending and
+// are acked by the next round.
+func (l *Log) flushOnce() {
 	l.flushMu.Lock()
+	if l.async {
+		// Drop any MaxBatch token deposited for records this round is
+		// about to drain; a stale token would cut a later round's dwell
+		// short for a near-empty batch. A token re-earned by records
+		// staged after this drain is redeposited by their stage calls.
+		select {
+		case <-l.full:
+		default:
+		}
+	}
+	l.waitMu.Lock()
+	ws := l.waiters
+	l.waiters = nil
+	l.waitMu.Unlock()
 	var batch []*stagedRec
 	for _, st := range l.stripes {
 		st.mu.Lock()
@@ -191,7 +449,17 @@ func (l *Log) Flush() {
 		st.mu.Unlock()
 	}
 	if len(batch) > 0 {
+		if l.async {
+			l.pending.Add(-int64(len(batch)))
+		}
 		sort.Slice(batch, func(i, j int) bool { return batch[i].stamp < batch[j].stamp })
+		// The flat batch copy feeds only the crash hook and the backend;
+		// skip the allocation on the default in-memory configuration to
+		// keep the commit flush path lean.
+		var recs []Record
+		if l.crash != nil || l.backend != nil {
+			recs = make([]Record, len(batch))
+		}
 		l.mu.Lock()
 		base := LSN(len(l.records))
 		for i, s := range batch {
@@ -200,12 +468,31 @@ func (l *Log) Flush() {
 			l.lastOf[s.rec.Txn] = s.rec.LSN
 			l.records = append(l.records, s.rec)
 			s.lsn = s.rec.LSN
+			if recs != nil {
+				recs[i] = s.rec
+			}
 		}
 		l.mu.Unlock()
+		if !l.crashed && l.crash != nil && l.crash(int(l.flushes.Load()), recs) {
+			l.crashed = true
+		}
+		if !l.crashed && !l.dead && l.backend != nil {
+			if err := l.backend.Sync(recs); err != nil {
+				l.dead = true
+				l.mu.Lock()
+				if l.syncErr == nil {
+					l.syncErr = err
+				}
+				l.mu.Unlock()
+			}
+		}
 		l.flushes.Add(1)
 		l.flushed.Add(int64(len(batch)))
 	}
 	l.flushMu.Unlock()
+	for _, w := range ws {
+		close(w)
+	}
 }
 
 // Flushes returns the number of non-empty flush batches sequenced so far.
