@@ -2,9 +2,10 @@
 // deterministic conflict-mass sweep (the trade-off curve between
 // update-in-place and deferred-update recovery), the engine-level banking
 // and resource-pool workloads under every scheduler pairing, the recovery
-// cost profile, the engine scaling sweep (shard count × GOMAXPROCS on the
-// wide-object workload), and the group-commit flush sweep (flusher dwell ×
-// simulated sync latency against the asynchronous WAL).
+// cost profile, the engine scaling sweep (shard count × GOMAXPROCS ×
+// operation mix — update-heavy and read-mostly — on the wide-object
+// workload), and the group-commit flush sweep (flusher dwell × simulated
+// sync latency against the asynchronous WAL).
 //
 // Usage:
 //
@@ -39,6 +40,29 @@ var (
 	flagJSON   = flag.Bool("json", false, "write scaling and flush results to "+benchJSONPath)
 )
 
+// experimentOrder is the single source of truth for experiment names and
+// their run order; the flag help, the validation set, and the usage error
+// all derive from it.
+var experimentOrder = []struct {
+	name string
+	run  func(bool)
+}{
+	{"mass", massExperiment},
+	{"banking", bankingExperiment},
+	{"pool", poolExperiment},
+	{"recovery", recoveryExperiment},
+	{"scaling", scalingExperiment},
+	{"flush", flushExperiment},
+}
+
+func experimentNames() string {
+	names := make([]string, len(experimentOrder))
+	for i, e := range experimentOrder {
+		names[i] = e.name
+	}
+	return strings.Join(names, ", ")
+}
+
 // benchDoc is the BENCH_engine.json schema: one section per machine-
 // readable sweep. Sections not exercised by the selected experiments are
 // omitted.
@@ -51,32 +75,29 @@ var benchOut benchDoc
 
 func main() {
 	quick := flag.Bool("quick", false, "run reduced sizes")
-	experiment := flag.String("experiment", "", "run selected experiments (comma-separated): mass, banking, pool, recovery, scaling, flush")
+	experiment := flag.String("experiment", "", "run selected experiments (comma-separated): "+experimentNames())
 	flag.Parse()
 
-	known := map[string]bool{"mass": true, "banking": true, "pool": true,
-		"recovery": true, "scaling": true, "flush": true}
+	known := map[string]bool{}
+	for _, e := range experimentOrder {
+		known[e.name] = true
+	}
 	selected := map[string]bool{}
 	if *experiment != "" {
 		for _, name := range strings.Split(*experiment, ",") {
 			if !known[name] {
-				fmt.Fprintf(os.Stderr, "ccbench: unknown experiment %q\n", name)
+				fmt.Fprintf(os.Stderr, "ccbench: unknown experiment %q (valid: %s)\n", name, experimentNames())
+				flag.Usage()
 				os.Exit(2)
 			}
 			selected[name] = true
 		}
 	}
-	run := func(name string, f func(bool)) {
-		if len(selected) == 0 || selected[name] {
-			f(*quick)
+	for _, e := range experimentOrder {
+		if len(selected) == 0 || selected[e.name] {
+			e.run(*quick)
 		}
 	}
-	run("mass", massExperiment)
-	run("banking", bankingExperiment)
-	run("pool", poolExperiment)
-	run("recovery", recoveryExperiment)
-	run("scaling", scalingExperiment)
-	run("flush", flushExperiment)
 	if *flagJSON {
 		if len(benchOut.Scaling) == 0 && len(benchOut.Flush) == 0 {
 			fmt.Fprintf(os.Stderr, "ccbench: -json applies to the scaling and flush experiments; no %s written\n", benchJSONPath)
@@ -151,26 +172,33 @@ func flushExperiment(quick bool) {
 // scalingExperiment measures the wide-object workload across shard counts
 // (E14): with one shard the engine degenerates to a single-mutex registry
 // — the pre-sharding design — so the sweep is the scaling-curve artifact.
-// With -json the points are written to BENCH_engine.json.
+// Each shard count is measured under two operation mixes: the update-heavy
+// default and the read-mostly variant (90% balance reads), which isolates
+// the registry/locking read path from recovery costs. With -json the
+// points are written to BENCH_engine.json.
 func scalingExperiment(quick bool) {
-	cfg := sim.DefaultScalingConfig()
-	if quick {
-		cfg.TxnsPerWorker = 60
-	}
 	counts := []int{1, 2, 4, 8, 16}
 	if *flagShards > 0 {
 		counts = []int{*flagShards}
 	}
 	var pts []sim.ScalingPoint
-	for _, s := range []sim.Scheduler{sim.UIPNRBC, sim.DUNFC} {
-		pts = append(pts, sim.ScalingSweep(s, cfg, counts)...)
+	for _, cfg := range []sim.ScalingConfig{sim.DefaultScalingConfig(), sim.ReadMostlyScalingConfig()} {
+		if quick {
+			cfg.TxnsPerWorker = 60
+		}
+		for _, s := range []sim.Scheduler{sim.UIPNRBC, sim.DUNFC} {
+			pts = append(pts, sim.ScalingSweep(s, cfg, counts)...)
+		}
 	}
+	base := sim.DefaultScalingConfig()
 	fmt.Println(sim.RenderScalingTable(
-		fmt.Sprintf("E14 — engine scaling sweep, %d objects, %d workers, GOMAXPROCS=%d (shards=1 is the single-mutex design)",
-			cfg.Objects, cfg.Workers, runtime.GOMAXPROCS(0)), pts))
+		fmt.Sprintf("E14 — engine scaling sweep, %d objects, %d workers, GOMAXPROCS=%d (shards=1 is the single-mutex design; update-heavy vs read-mostly mix)",
+			base.Objects, base.Workers, runtime.GOMAXPROCS(0)), pts))
 	fmt.Println("shape: ops/s grows with shard count until the hardware parallelism or the")
-	fmt.Println("workload's conflict mass is exhausted; the per-shard histories always merge")
-	fmt.Println("into one totally ordered history (verified by the sim tests).")
+	fmt.Println("workload's conflict mass is exhausted; the read-mostly mix keeps the same")
+	fmt.Println("operation-logging traffic but nearly removes conflicts, so it measures the")
+	fmt.Println("harness's per-operation floor; the per-shard histories always merge into one")
+	fmt.Println("totally ordered history (verified by the sim tests).")
 	fmt.Println()
 	benchOut.Scaling = pts
 }

@@ -20,17 +20,27 @@
 // sequence, and Engine.History() merges the buffers back into the single
 // totally ordered history the checkers replay. The write-ahead log is
 // group-committed with an optional dedicated flusher: updates stage into
-// per-transaction-stripe buffers, sequencing assigns contiguous LSN ranges
-// per batch, and in asynchronous mode commits are barrier-acknowledged
-// only after the batch reaches a pluggable durability backend — in-memory,
-// fsync-simulating, or a real append-only file that recovery.Restart
-// replays after a crash (the crash-injection suite in internal/recovery
-// proves exactly the committed-winners state survives every flush
-// boundary). See internal/txn, internal/history, and internal/wal.
+// per-transaction-stripe buffers, sequencing drains every stripe under a
+// consistent cut and assigns contiguous LSN ranges per batch, and in
+// asynchronous mode commits are barrier-acknowledged only after the batch
+// reaches a pluggable durability backend — in-memory, fsync-simulating, or
+// a real append-only file that recovery.Restart replays after a crash.
+//
+// Crash restart is transaction-atomic: Txn.Commit stages a single
+// transaction-level commit record (wal.TxnCommitRec) after per-object
+// commit processing and before releasing locks, and recovery.Restart runs
+// a two-pass presumed-abort protocol — transactions without a durable
+// TxnCommitRec are losers at every object, however many per-object commit
+// records survived. The crash-injection suites in internal/recovery prove,
+// at every flush boundary, that exactly the transaction-granularity
+// winners survive and that multi-object transfers are never recovered by
+// halves. See internal/txn, internal/history, internal/wal, and
+// internal/recovery.
 //
 // The benchmarks in bench_test.go regenerate every table and figure of the
-// paper plus the engine scaling sweep (shards × GOMAXPROCS) and the
-// group-commit flush sweep (flusher dwell × sync latency); `ccbench
-// -experiment scaling,flush -json` writes both to BENCH_engine.json. See
-// EXPERIMENTS.md for the methodology and the 1-vCPU measurement caveats.
+// paper plus the engine scaling sweep (shards × GOMAXPROCS × operation
+// mix, including a read-mostly variant) and the group-commit flush sweep
+// (flusher dwell × sync latency); `ccbench -experiment scaling,flush
+// -json` writes both to BENCH_engine.json. See EXPERIMENTS.md for the
+// methodology and the 1-vCPU measurement caveats.
 package repro

@@ -5,11 +5,14 @@ package recovery_test
 // every batch from injection point k onward — modelling a machine that
 // dies with the log tail still in volatile buffers. For every k the
 // durable file is re-opened, recovery.Restart rebuilds each object, and
-// the result is checked against an independent redo-only oracle: the
-// balance an object must have if exactly the transactions whose commit
-// record reached durable storage before the crash survive. Losers —
-// in-flight or tail-lost transactions — must contribute nothing and end
-// the post-restart log aborted.
+// the result is checked against an independent redo-only oracle at
+// transaction granularity: the balance an object must have if exactly the
+// transactions whose transaction-level commit record (wal.TxnCommitRec)
+// reached durable storage before the crash survive. Recovery is
+// presumed-abort, so a transaction with durable per-object CommitRecs but
+// no TxnCommitRec is a loser everywhere; losers — in-flight or tail-lost
+// transactions — must contribute nothing and end the post-restart log
+// aborted.
 
 import (
 	"errors"
@@ -27,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/history"
 	"repro/internal/recovery"
+	"repro/internal/spec"
 	"repro/internal/txn"
 	"repro/internal/wal"
 )
@@ -131,29 +135,33 @@ func runCrashWorkload(t *testing.T, path string, crashAt int, seed int64) (int, 
 	return max(batches, int(e.WAL().Flushes())), e
 }
 
-// expectedBalance is the independent redo-only oracle: the balance of obj
-// implied by the durable record prefix, counting only transactions whose
-// commit record for obj survived. Bank-account updates are pure deltas, so
-// the winners-only sum is exact regardless of how losers interleaved.
-//
-// Commit durability is deliberately per-object here, mirroring the
-// engine: there is one CommitRec per touched object and no
-// transaction-level commit record, so a crash between two objects'
-// commit records makes the transaction a winner at one and a loser at
-// the other. That is the atomic-commitment problem the paper's model
-// (and this engine's two-phase sweep) delegates to a commit protocol;
-// a transaction-level commit record is a ROADMAP item, and this oracle
-// will need to move to transaction-granularity winners when it lands.
-func expectedBalance(recs []wal.Record, obj history.ObjectID) int {
-	committed := map[history.TxnID]bool{}
+// durableWinners is the oracle's own pass 1: the set of transactions whose
+// transaction-level commit record survived in the durable prefix. It is
+// deliberately independent of recovery.Winners (same semantics, separate
+// code) so the test cannot inherit an implementation bug.
+func durableWinners(recs []wal.Record) map[history.TxnID]bool {
+	winners := map[history.TxnID]bool{}
 	for _, r := range recs {
-		if r.Obj == obj && r.Kind == wal.CommitRec {
-			committed[r.Txn] = true
+		if r.Kind == wal.TxnCommitRec {
+			winners[r.Txn] = true
 		}
 	}
-	bal := crashInitialBalance
+	return winners
+}
+
+// expectedBalance is the independent redo-only oracle: the balance of obj
+// implied by the durable record prefix, counting only the updates of
+// transaction-granularity winners — transactions whose TxnCommitRec
+// survived. Bank-account updates are pure deltas, so the winners-only sum
+// is exact regardless of how losers interleaved. A transaction with a
+// durable per-object CommitRec at obj but no TxnCommitRec counts for
+// nothing: presumed abort makes it a loser at every object, which is
+// precisely the transaction-atomicity property the sweep proves.
+func expectedBalance(recs []wal.Record, obj history.ObjectID, initial int) int {
+	winners := durableWinners(recs)
+	bal := initial
 	for _, r := range recs {
-		if r.Obj != obj || r.Kind != wal.Update || !committed[r.Txn] {
+		if r.Obj != obj || r.Kind != wal.Update || !winners[r.Txn] {
 			continue
 		}
 		amount, _ := strconv.Atoi(r.Op.Inv.Args)
@@ -168,12 +176,14 @@ func expectedBalance(recs []wal.Record, obj history.ObjectID) int {
 }
 
 // assertLosersTerminated checks that after Restart every transaction with
-// updates at obj ends with a commit or abort record — no in-flight
-// transaction survives restart.
+// updates at obj either durably committed (TxnCommitRec) or ends with an
+// abort record at obj — no in-flight transaction survives restart, and no
+// loser is left half-terminated.
 func assertLosersTerminated(t *testing.T, recs []wal.Record, obj history.ObjectID, point int) {
 	t.Helper()
+	winners := durableWinners(recs)
 	updated := map[history.TxnID]bool{}
-	terminated := map[history.TxnID]bool{}
+	aborted := map[history.TxnID]bool{}
 	for _, r := range recs {
 		if r.Obj != obj {
 			continue
@@ -181,20 +191,33 @@ func assertLosersTerminated(t *testing.T, recs []wal.Record, obj history.ObjectI
 		switch r.Kind {
 		case wal.Update:
 			updated[r.Txn] = true
-		case wal.CommitRec, wal.AbortRec:
-			terminated[r.Txn] = true
+		case wal.AbortRec:
+			aborted[r.Txn] = true
 		}
 	}
 	for txid := range updated {
-		if !terminated[txid] {
+		if !winners[txid] && !aborted[txid] {
 			t.Errorf("crash point %d: %s left in flight at %s after restart", point, txid, obj)
 		}
 	}
 }
 
-// restartAll re-opens the durable log at path and restarts every object,
-// returning the recovered values (encoded) and the post-restart records.
+// restartAll re-opens the durable log at path and restarts every banking
+// object, returning the recovered values (encoded) and the post-restart
+// records.
 func restartAll(t *testing.T, path string, point int) (map[history.ObjectID]string, []wal.Record) {
+	t.Helper()
+	objs := make([]history.ObjectID, crashObjects)
+	for i := range objs {
+		objs[i] = crashObjID(i)
+	}
+	return restartAllOf(t, path, point, objs)
+}
+
+// restartAllOf re-opens the durable log at path and restarts each listed
+// object against the banking machine, sharing one outcome scan
+// (recovery.RestartAll).
+func restartAllOf(t *testing.T, path string, point int, objs []history.ObjectID) (map[history.ObjectID]string, []wal.Record) {
 	t.Helper()
 	backend, err := wal.OpenFileBackend(path)
 	if err != nil {
@@ -204,13 +227,12 @@ func restartAll(t *testing.T, path string, point int) (map[history.ObjectID]stri
 	if err != nil {
 		t.Fatalf("crash point %d: replay: %v", point, err)
 	}
+	stores, err := recovery.RestartAll(objs, func(history.ObjectID) adt.Machine { return crashMachine() }, log)
+	if err != nil {
+		t.Fatalf("crash point %d: %v", point, err)
+	}
 	vals := map[history.ObjectID]string{}
-	for i := 0; i < crashObjects; i++ {
-		obj := crashObjID(i)
-		st, err := recovery.Restart(obj, crashMachine(), log)
-		if err != nil {
-			t.Fatalf("crash point %d: restart %s: %v", point, obj, err)
-		}
+	for obj, st := range stores {
 		vals[obj] = st.CommittedValue().Encode()
 	}
 	recs := log.Snapshot()
@@ -250,7 +272,12 @@ func TestCrashInjectionSweep(t *testing.T) {
 	// counts injection points whose durable prefix contains updates of a
 	// transaction with no terminator — a genuine in-flight loser — so the
 	// sweep cannot silently degenerate into clean-shutdown cases only.
+	// commitSplits counts the sharper case: a durable per-object CommitRec
+	// without the transaction-level commit record, i.e. the crash fell
+	// inside the commit protocol itself (rare at one boundary, logged for
+	// visibility; the transfer sweep constructs it deterministically).
 	losersSeen := 0
+	commitSplits := 0
 	stride := 1
 	const maxPoints = 28
 	if batches > maxPoints {
@@ -271,10 +298,11 @@ func TestCrashInjectionSweep(t *testing.T) {
 			if countInFlight(durable) > 0 {
 				losersSeen++
 			}
+			commitSplits += countCommitSplit(durable)
 			vals, recs := restartAll(t, path, k)
 			for i := 0; i < crashObjects; i++ {
 				obj := crashObjID(i)
-				want := strconv.Itoa(expectedBalance(durable, obj))
+				want := strconv.Itoa(expectedBalance(durable, obj, crashInitialBalance))
 				if vals[obj] != want {
 					t.Errorf("object %s: restarted state %s, oracle %s (durable prefix %d records)",
 						obj, vals[obj], want, len(durable))
@@ -295,29 +323,117 @@ func TestCrashInjectionSweep(t *testing.T) {
 	if losersSeen == 0 {
 		t.Error("no injection point produced an in-flight loser; the sweep is not exercising undo")
 	}
+	t.Logf("sweep saw %d loser boundaries, %d commit-split transactions", losersSeen, commitSplits)
 }
 
-// countInFlight returns the number of (transaction, object) pairs with
-// durable updates but no durable commit or abort record.
-func countInFlight(recs []wal.Record) int {
-	type key struct {
-		t history.TxnID
-		o history.ObjectID
+// TestCrashMidAbortCompensation builds, for every prefix of a loser's
+// compensation walk, a durable file log that ends with partially durable
+// compensation records — the machine died during the Abort flush, after
+// some CLRs reached the disk but before the abort record — and proves that
+// restart resumes the undo exactly where the CLRs stopped, terminates the
+// loser, and that a second restart of the repaired log is a fixed point.
+func TestCrashMidAbortCompensation(t *testing.T) {
+	dir := t.TempDir()
+	// The loser applied deposit(5) then withdraw(2); live abort compensates
+	// newest-first, so the durable CLR prefixes are: none, withdraw only,
+	// withdraw then deposit.
+	for clrs := 0; clrs <= 2; clrs++ {
+		path := filepath.Join(dir, fmt.Sprintf("abort%d.wal", clrs))
+		backend, err := wal.CreateFileBackend(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		log, err := wal.Open(wal.Config{Backend: backend})
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := recovery.NewUndoLog("X", crashMachine(), log)
+		// A committed funder, so the loser's undo runs against real state.
+		if _, err := u.Apply("W", adt.Deposit(3)); err != nil {
+			t.Fatal(err)
+		}
+		if err := u.Commit("W"); err != nil {
+			t.Fatal(err)
+		}
+		log.Append(wal.Record{Kind: wal.TxnCommitRec, Txn: "W"})
+		if _, err := u.Apply("L", adt.Deposit(5)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := u.Apply("L", adt.Withdraw(2)); err != nil {
+			t.Fatal(err)
+		}
+		log.Flush()
+		// The abort walk, crashed after clrs compensation records: stage
+		// exactly what live abort processing would have made durable.
+		undoOps := []spec.Operation{adt.WithdrawOk(2), adt.DepositOk(5)}
+		for i := 0; i < clrs; i++ {
+			log.Append(wal.Record{Kind: wal.CompensationRec, Txn: "L", Obj: "X", Op: undoOps[i]})
+		}
+		if err := log.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		want := strconv.Itoa(crashInitialBalance + 3)
+		vals, recs := restartAllOf(t, path, clrs, []history.ObjectID{"X"})
+		if vals["X"] != want {
+			t.Errorf("%d durable CLRs: restarted state %s, want %s (loser fully undone)", clrs, vals["X"], want)
+		}
+		assertLosersTerminated(t, recs, "X", clrs)
+		again, _ := restartAllOf(t, path, clrs, []history.ObjectID{"X"})
+		if again["X"] != want {
+			t.Errorf("%d durable CLRs: second restart diverged: %s vs %s", clrs, again["X"], want)
+		}
 	}
-	updated := map[key]bool{}
-	terminated := map[key]bool{}
+}
+
+// countInFlight returns the number of transactions with durable updates
+// that neither durably committed (TxnCommitRec) nor durably aborted at
+// every updated object — the losers whose undo the restart must perform.
+func countInFlight(recs []wal.Record) int {
+	winners := durableWinners(recs)
+	updated := map[history.TxnID]map[history.ObjectID]bool{}
+	aborted := map[history.TxnID]map[history.ObjectID]bool{}
+	mark := func(m map[history.TxnID]map[history.ObjectID]bool, t history.TxnID, o history.ObjectID) {
+		if m[t] == nil {
+			m[t] = map[history.ObjectID]bool{}
+		}
+		m[t][o] = true
+	}
 	for _, r := range recs {
-		k := key{r.Txn, r.Obj}
 		switch r.Kind {
 		case wal.Update:
-			updated[k] = true
-		case wal.CommitRec, wal.AbortRec:
-			terminated[k] = true
+			mark(updated, r.Txn, r.Obj)
+		case wal.AbortRec:
+			mark(aborted, r.Txn, r.Obj)
 		}
 	}
 	n := 0
-	for k := range updated {
-		if !terminated[k] {
+	for txid, objs := range updated {
+		if winners[txid] {
+			continue
+		}
+		for o := range objs {
+			if !aborted[txid][o] {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// countCommitSplit returns the number of transactions whose durable prefix
+// contains at least one per-object CommitRec but no TxnCommitRec — the
+// crash fell inside the commit protocol, after some commit processing but
+// before the transaction-level commit point. These are exactly the
+// prefixes that per-object recovery used to restore half-committed.
+func countCommitSplit(recs []wal.Record) int {
+	winners := durableWinners(recs)
+	seen := map[history.TxnID]bool{}
+	n := 0
+	for _, r := range recs {
+		if r.Kind == wal.CommitRec && !winners[r.Txn] && !seen[r.Txn] {
+			seen[r.Txn] = true
 			n++
 		}
 	}

@@ -138,7 +138,10 @@ func (u *UndoLog) Apply(txn history.TxnID, inv spec.Invocation) (spec.Response, 
 }
 
 // Commit implements Store: update-in-place commits are cheap — drop the
-// undo chain and log the commit.
+// undo chain and log the per-object commit record. That record is a redo
+// hint for Restart, not the commit decision: the transaction durably
+// commits only when the engine's transaction-level wal.TxnCommitRec
+// reaches the backend (recovery is presumed-abort; see Restart).
 func (u *UndoLog) Commit(txn history.TxnID) error {
 	delete(u.chain, txn)
 	u.log.AppendAsync(wal.Record{Kind: wal.CommitRec, Txn: txn, Obj: u.obj})

@@ -8,31 +8,94 @@ import (
 	"repro/internal/wal"
 )
 
+// Winners scans log records for transaction-level commit records and
+// returns the set of transactions that durably committed. This is pass 1
+// of the restart protocol, shared across the per-object restarts of one
+// log: recovery is presumed-abort, so a transaction absent from this set
+// is a loser — even if some of its per-object CommitRecs reached the
+// durable log before the crash.
+func Winners(recs []wal.Record) map[history.TxnID]bool {
+	w := make(map[history.TxnID]bool)
+	for _, rec := range recs {
+		if rec.Kind == wal.TxnCommitRec {
+			w[rec.Txn] = true
+		}
+	}
+	return w
+}
+
 // Restart reconstructs an UndoLog store for object obj from its write-ahead
-// log after a crash, in the style of an abort-only ARIES restart:
+// log after a crash, as a two-pass presumed-abort protocol in the style of
+// ARIES-lineage restart:
 //
-//  1. Redo: replay every Update record for obj in LSN order against the
-//     machine, checking that each operation reproduces its logged response
-//     (the machine is a deterministic refinement, so divergence means a
-//     corrupt log or mismatched machine). Compensation records re-apply the
-//     undo they logged.
-//  2. Undo: transactions with updates but neither a commit nor an abort
-//     record are losers — in-flight at the crash. Their un-compensated
-//     updates are undone newest-first, exactly as live abort processing
-//     would have done, and compensation plus abort records are appended so
-//     the log ends in a state equivalent to "every loser aborted".
+//  1. Outcomes (pass 1): scan the whole durable log for transaction-level
+//     commit records (wal.TxnCommitRec). A transaction is a winner iff its
+//     TxnCommitRec survived; everything else is presumed aborted. Because
+//     Txn.Commit stages the TxnCommitRec after every per-object CommitRec
+//     and batches are consistent cuts, a winner's per-object records are
+//     always durable too — but the converse does not hold, and a crash
+//     between two objects' CommitRecs of one transaction (or before the
+//     TxnCommitRec) makes the whole transaction a loser at every object,
+//     never half of one.
+//
+//  2. Redo + undo (pass 2): replay every Update record for obj in LSN
+//     order against the machine, checking that each operation reproduces
+//     its logged response (the machine is a deterministic refinement, so
+//     divergence means a corrupt log or mismatched machine). Compensation
+//     records re-apply the undo they logged. A per-object CommitRec is a
+//     redo hint only: it discharges a winner's pending undo records, but
+//     for a loser it is ignored, so the loser's updates stay undoable.
+//     Losers' un-compensated updates are then undone newest-first, exactly
+//     as live abort processing would have done, and compensation plus
+//     abort records are appended so the log ends in a state equivalent to
+//     "every loser aborted".
 //
 // The paper deliberately leaves crash recovery out of scope (Section 1);
 // Restart is the natural engineering extension the paper's abort-recovery
 // analysis anticipates: because undo is logical (operation-level), the
 // reconstructed state is exactly the one obtained by aborting the losers,
-// and the correctness argument is Theorem 9's.
+// and the correctness argument is Theorem 9's. The presumed-abort outcome
+// rule is the commit protocol the paper's model assumes delegated to the
+// log: the transaction-level record is the atomic commit point for all
+// objects at once.
 //
 // The returned store owns the same log and is ready for new transactions.
 func Restart(obj history.ObjectID, m adt.Machine, log *wal.Log) (*UndoLog, error) {
+	snap := log.Snapshot()
+	return restartWith(obj, m, log, snap, Winners(snap))
+}
+
+// RestartAll restarts every listed object of one shared log, scanning the
+// log and computing the winner set once (pass 1 is per-log, not
+// per-object). machineFor supplies a fresh machine per object. Objects are
+// restarted in the given order, so the compensation and abort records the
+// undo phases append are deterministic.
+//
+// The snapshot is taken once: the records each object's undo phase appends
+// are scoped to that object and invisible to the others' pass 2 anyway,
+// and no restart ever appends a TxnCommitRec, so the shared winner set
+// stays exact.
+func RestartAll(objs []history.ObjectID, machineFor func(history.ObjectID) adt.Machine,
+	log *wal.Log) (map[history.ObjectID]*UndoLog, error) {
+	snap := log.Snapshot()
+	winners := Winners(snap)
+	out := make(map[history.ObjectID]*UndoLog, len(objs))
+	for _, obj := range objs {
+		st, err := restartWith(obj, machineFor(obj), log, snap, winners)
+		if err != nil {
+			return nil, fmt.Errorf("recovery: restart %s: %w", obj, err)
+		}
+		out[obj] = st
+	}
+	return out, nil
+}
+
+// restartWith is pass 2 of Restart against a pre-scanned log snapshot and
+// winner set (so multi-object callers can share pass 1).
+func restartWith(obj history.ObjectID, m adt.Machine, log *wal.Log,
+	snap []wal.Record, winners map[history.TxnID]bool) (*UndoLog, error) {
 	type txnInfo struct {
-		committed bool
-		aborted   bool
+		aborted bool
 		// pending holds applied-but-not-compensated update records, in
 		// apply order.
 		pending []undoRec
@@ -65,8 +128,8 @@ func Restart(obj history.ObjectID, m adt.Machine, log *wal.Log) (*UndoLog, error
 		return nil
 	}
 
-	// Phase 1: redo history from the log.
-	for _, rec := range log.Snapshot() {
+	// Pass 2, redo: replay obj's history from the log.
+	for _, rec := range snap {
 		if rec.Obj != obj {
 			continue
 		}
@@ -111,8 +174,14 @@ func Restart(obj history.ObjectID, m adt.Machine, log *wal.Log) (*UndoLog, error
 			}
 			ti.pending = ti.pending[:len(ti.pending)-1]
 		case wal.CommitRec:
-			ti.committed = true
-			ti.pending = nil
+			// Redo hint only: for a winner the updates are durably
+			// committed and need no undo records. For a loser (its
+			// TxnCommitRec never became durable) the record is ignored —
+			// presumed abort keeps the updates pending so the undo phase,
+			// or a previous restart's compensation records, can undo them.
+			if winners[rec.Txn] {
+				ti.pending = nil
+			}
 		case wal.AbortRec:
 			ti.aborted = true
 			if len(ti.pending) != 0 {
@@ -122,11 +191,15 @@ func Restart(obj history.ObjectID, m adt.Machine, log *wal.Log) (*UndoLog, error
 		}
 	}
 
-	// Phase 2: undo the losers, logging compensation as live abort would.
-	// Deterministic order: by transaction ID.
+	// Pass 2, undo: roll back the losers, logging compensation as live
+	// abort would. Deterministic order: by transaction ID. A loser whose
+	// updates were all compensated before the crash (the abort flush died
+	// after the last CLR but before the abort record) has nothing left to
+	// undo but is still terminated with an abort record, so the next
+	// restart sees it closed.
 	var losers []history.TxnID
 	for t, ti := range txns {
-		if !ti.committed && !ti.aborted && len(ti.pending) > 0 {
+		if !winners[t] && !ti.aborted {
 			losers = append(losers, t)
 		}
 	}

@@ -9,6 +9,14 @@ import (
 	"repro/internal/wal"
 )
 
+// logTxnCommit stages the transaction-level commit record the way
+// txn.Commit does after the per-object commit sweep. Restart is
+// presumed-abort: without this record a transaction is a loser no matter
+// how many per-object CommitRecs reached the log.
+func logTxnCommit(log *wal.Log, txn history.TxnID) {
+	log.Append(wal.Record{Kind: wal.TxnCommitRec, Txn: txn})
+}
+
 // TestRestartCleanLog: restart after only committed work reproduces the
 // committed state.
 func TestRestartCleanLog(t *testing.T) {
@@ -19,6 +27,7 @@ func TestRestartCleanLog(t *testing.T) {
 	if err := u.Commit("A"); err != nil {
 		t.Fatal(err)
 	}
+	logTxnCommit(log, "A")
 	// Crash: discard u; rebuild from the log.
 	r, err := Restart("BA", adt.DefaultBankAccount().Machine(), log)
 	if err != nil {
@@ -38,11 +47,13 @@ func TestRestartUndoesLoser(t *testing.T) {
 	if err := u.Commit("A"); err != nil {
 		t.Fatal(err)
 	}
+	logTxnCommit(log, "A")
 	mustApplyR(t, u, "B", adt.Deposit(3)) // loser: never commits
 	mustApplyR(t, u, "C", adt.Deposit(2))
 	if err := u.Commit("C"); err != nil {
 		t.Fatal(err)
 	}
+	logTxnCommit(log, "C")
 
 	r, err := Restart("BA", adt.DefaultBankAccount().Machine(), log)
 	if err != nil {
@@ -62,8 +73,98 @@ func TestRestartUndoesLoser(t *testing.T) {
 	if err := r.Commit("D"); err != nil {
 		t.Fatal(err)
 	}
+	logTxnCommit(log, "D")
 	if got := r.CommittedValue().Encode(); got != "8" {
 		t.Fatalf("post-restart state = %s, want 8", got)
+	}
+}
+
+// TestRestartPresumedAbortHalfCommitted is the transaction-atomic restart
+// property itself: a transaction whose per-object CommitRecs reached the
+// log at BOTH objects — but whose transaction-level commit record did not —
+// is presumed aborted and undone everywhere. Before the TxnCommitRec
+// existed, this durable prefix (the crash falling after the per-object
+// commit sweep but before the commit point) recovered half-committed.
+func TestRestartPresumedAbortHalfCommitted(t *testing.T) {
+	log := wal.New()
+	m := adt.DefaultBankAccount().Machine()
+	ux := NewUndoLog("X", m, log)
+	uy := NewUndoLog("Y", m, log)
+	// Fund both accounts with a committed transaction.
+	mustApplyR(t, ux, "F", adt.Deposit(10))
+	mustApplyR(t, uy, "F", adt.Deposit(10))
+	if err := ux.Commit("F"); err != nil {
+		t.Fatal(err)
+	}
+	if err := uy.Commit("F"); err != nil {
+		t.Fatal(err)
+	}
+	logTxnCommit(log, "F")
+	// A transfer X→Y that got through both per-object commits, but crashed
+	// before its transaction-level commit record was staged.
+	mustApplyR(t, ux, "T", adt.Withdraw(4))
+	mustApplyR(t, uy, "T", adt.Deposit(4))
+	if err := ux.Commit("T"); err != nil {
+		t.Fatal(err)
+	}
+	if err := uy.Commit("T"); err != nil {
+		t.Fatal(err)
+	}
+	// No logTxnCommit(log, "T"): the crash point.
+
+	rx, err := Restart("X", adt.DefaultBankAccount().Machine(), log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ry, err := Restart("Y", adt.DefaultBankAccount().Machine(), log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rx.CommittedValue().Encode(); got != "10" {
+		t.Fatalf("X after restart = %s, want 10 (transfer presumed aborted)", got)
+	}
+	if got := ry.CommittedValue().Encode(); got != "10" {
+		t.Fatalf("Y after restart = %s, want 10 (transfer presumed aborted)", got)
+	}
+	// A second restart is a fixed point: T is now terminated by abort
+	// records, and the state does not move.
+	rx2, err := Restart("X", adt.DefaultBankAccount().Machine(), log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rx2.CommittedValue().Encode(); got != "10" {
+		t.Fatalf("X after second restart = %s, want 10", got)
+	}
+}
+
+// TestRestartWinnerSurvivesWithCommitHints: with the TxnCommitRec durable,
+// the per-object CommitRecs act as redo hints and the transaction's
+// effects survive at every object.
+func TestRestartWinnerSurvivesWithCommitHints(t *testing.T) {
+	log := wal.New()
+	m := adt.DefaultBankAccount().Machine()
+	ux := NewUndoLog("X", m, log)
+	uy := NewUndoLog("Y", m, log)
+	mustApplyR(t, ux, "T", adt.Deposit(6))
+	mustApplyR(t, uy, "T", adt.Deposit(7))
+	if err := ux.Commit("T"); err != nil {
+		t.Fatal(err)
+	}
+	if err := uy.Commit("T"); err != nil {
+		t.Fatal(err)
+	}
+	logTxnCommit(log, "T")
+	rx, err := Restart("X", adt.DefaultBankAccount().Machine(), log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ry, err := Restart("Y", adt.DefaultBankAccount().Machine(), log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rx.CommittedValue().Encode() != "6" || ry.CommittedValue().Encode() != "7" {
+		t.Fatalf("winner states = %s, %s; want 6, 7",
+			rx.CommittedValue().Encode(), ry.CommittedValue().Encode())
 	}
 }
 
@@ -97,6 +198,7 @@ func TestRestartIdempotent(t *testing.T) {
 	if err := u.Commit("A"); err != nil {
 		t.Fatal(err)
 	}
+	logTxnCommit(log, "A")
 	mustApplyR(t, u, "B", adt.Withdraw(2)) // loser
 
 	r1, err := Restart("BA", adt.DefaultBankAccount().Machine(), log)
@@ -125,6 +227,7 @@ func TestRestartBeforeImageMachine(t *testing.T) {
 	if err := u.Commit("A"); err != nil {
 		t.Fatal(err)
 	}
+	logTxnCommit(log, "A")
 	mustApplyR(t, u, "B", adt.Put("x", "2")) // loser overwrites x
 
 	r, err := Restart("KV", adt.DefaultKVStore().Machine(), log)
@@ -137,7 +240,8 @@ func TestRestartBeforeImageMachine(t *testing.T) {
 }
 
 // TestRestartMultiObjectLog: the shared log interleaves records of several
-// objects; restart filters correctly.
+// objects; restart filters correctly, and pass 1 (the winner scan) is
+// shared semantics across the per-object restarts.
 func TestRestartMultiObjectLog(t *testing.T) {
 	log := wal.New()
 	u1 := NewUndoLog("X", adt.DefaultBankAccount().Machine(), log)
@@ -150,6 +254,7 @@ func TestRestartMultiObjectLog(t *testing.T) {
 	if err := u2.Commit("A"); err != nil {
 		t.Fatal(err)
 	}
+	logTxnCommit(log, "A")
 	r1, err := Restart("X", adt.DefaultBankAccount().Machine(), log)
 	if err != nil {
 		t.Fatal(err)

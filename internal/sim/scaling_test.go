@@ -288,3 +288,28 @@ func TestScalingSweepShape(t *testing.T) {
 		t.Errorf("table too short: %q", out)
 	}
 }
+
+// TestReadMostlyScalingMix: the read-mostly preset runs the same workload
+// shape with the mix label carried into the measured point — the knob the
+// ccbench scaling sweep reports both mixes by.
+func TestReadMostlyScalingMix(t *testing.T) {
+	heavy := DefaultScalingConfig()
+	heavy.TxnsPerWorker = 20
+	readMostly := ReadMostlyScalingConfig()
+	readMostly.TxnsPerWorker = 20
+	if readMostly.DepositPct+readMostly.WithdrawPct >= 20 {
+		t.Fatalf("read-mostly preset is not read-mostly: %d%% updates",
+			readMostly.DepositPct+readMostly.WithdrawPct)
+	}
+	ph, _ := RunScaling(UIPNRBC, heavy)
+	pr, _ := RunScaling(UIPNRBC, readMostly)
+	if ph.Mix != "update-heavy" || pr.Mix != "read-mostly" {
+		t.Fatalf("mix labels = %q, %q; want update-heavy, read-mostly", ph.Mix, pr.Mix)
+	}
+	if pr.Commits == 0 {
+		t.Fatal("read-mostly run committed nothing")
+	}
+	if pr.WALRecords == 0 {
+		t.Fatal("read-mostly run staged no WAL records (operations are operation-logged regardless of mix)")
+	}
+}

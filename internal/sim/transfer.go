@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"repro/internal/adt"
+	"repro/internal/history"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// TransferConfig parameterizes the multi-object transfer workload: every
+// transaction withdraws an amount from one account and deposits the same
+// amount at another, so transaction atomicity is observable as money
+// conservation — the sum of all balances never moves, and a half-applied
+// transfer (one leg without the other) is immediately visible. This is the
+// workload that stresses the cross-object commit barrier: a crash boundary
+// can fall between the two legs' update records, between the per-object
+// commit records, or between them and the transaction-level commit record,
+// and restart must still recover whole transfers or none of one.
+type TransferConfig struct {
+	// Accounts is the number of bank-account objects.
+	Accounts int
+	// Workers is the number of concurrent client goroutines.
+	Workers int
+	// TxnsPerWorker is the number of transfer transactions per worker.
+	TxnsPerWorker int
+	// MaxAmount bounds each transfer amount (drawn uniformly from
+	// 1..MaxAmount).
+	MaxAmount int
+	// InitialBalance seeds every account; the conserved total is
+	// Accounts * InitialBalance.
+	InitialBalance int
+	// AbortPct aborts the transaction voluntarily after both legs,
+	// exercising multi-object compensation under concurrency.
+	AbortPct int
+	// Shards is passed to txn.Options (0 = engine default).
+	Shards int
+	// Seed makes the workload deterministic in structure.
+	Seed int64
+	// Record enables history recording (verification runs only).
+	Record bool
+}
+
+// DefaultTransferConfig is 6 hot accounts under 5 workers with a fifth of
+// the transfers aborting voluntarily.
+func DefaultTransferConfig() TransferConfig {
+	return TransferConfig{
+		Accounts:       6,
+		Workers:        5,
+		TxnsPerWorker:  8,
+		MaxAmount:      3,
+		InitialBalance: 1000,
+		AbortPct:       20,
+		Seed:           1,
+	}
+}
+
+// TransferAccountID names the i-th transfer account.
+func TransferAccountID(i int) history.ObjectID {
+	return history.ObjectID(fmt.Sprintf("xfer%02d", i))
+}
+
+// BankAccount returns the account type backing the workload — shared with
+// the crash harness so the machine restarted from the durable log is
+// exactly the machine that produced it.
+func (cfg TransferConfig) BankAccount() adt.BankAccount {
+	amounts := make([]int, cfg.MaxAmount)
+	for i := range amounts {
+		amounts[i] = i + 1
+	}
+	return adt.BankAccount{InitialBalance: cfg.InitialBalance, MaxBalance: 1 << 20, Amounts: amounts}
+}
+
+// NewTransferEngine builds an engine with cfg.Accounts undo-log (UIP/NRBC)
+// bank accounts sharing log (nil selects the default in-memory WAL).
+func NewTransferEngine(cfg TransferConfig, log *wal.Log) *txn.Engine {
+	ba := cfg.BankAccount()
+	e := txn.NewEngine(txn.Options{RecordHistory: cfg.Record, Shards: cfg.Shards, WAL: log})
+	for i := 0; i < cfg.Accounts; i++ {
+		e.MustRegister(TransferAccountID(i), ba, adt.DefaultBankAccount().NRBC(), txn.UndoLogRecovery)
+	}
+	return e
+}
+
+// RunTransfers drives the transfer workload against e until every worker
+// has finished. Each transaction withdraws from a random source and, if the
+// withdrawal succeeded, deposits the same amount at a distinct random
+// destination; transactions whose withdrawal is refused (insufficient
+// funds) abort, as do a cfg.AbortPct fraction of complete transfers —
+// multi-object compensation under concurrency. Deadlock victims are
+// auto-aborted by the engine. The scheduler yield between the two legs
+// spreads a transfer's records over group-commit batches, so crash
+// boundaries genuinely fall inside transfers.
+func RunTransfers(e *txn.Engine, cfg TransferConfig) {
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*15485863))
+			for i := 0; i < cfg.TxnsPerWorker; i++ {
+				tx := e.Begin()
+				src := rng.Intn(cfg.Accounts)
+				dst := rng.Intn(cfg.Accounts - 1)
+				if dst >= src {
+					dst++
+				}
+				amount := 1 + rng.Intn(cfg.MaxAmount)
+				res, err := tx.Invoke(TransferAccountID(src), adt.Withdraw(amount))
+				if err != nil {
+					if !errors.Is(err, txn.ErrAborted) {
+						_ = tx.Abort()
+					}
+					continue
+				}
+				if res != "ok" {
+					_ = tx.Abort()
+					continue
+				}
+				runtime.Gosched()
+				res, err = tx.Invoke(TransferAccountID(dst), adt.Deposit(amount))
+				if err != nil {
+					if !errors.Is(err, txn.ErrAborted) {
+						_ = tx.Abort()
+					}
+					continue
+				}
+				if res != "ok" {
+					_ = tx.Abort()
+					continue
+				}
+				runtime.Gosched()
+				if cfg.AbortPct > 0 && rng.Intn(100) < cfg.AbortPct {
+					_ = tx.Abort()
+					continue
+				}
+				_ = tx.Commit()
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TransferTotal sums the committed balances of the transfer accounts — the
+// conserved quantity. Call it quiescently.
+func TransferTotal(e *txn.Engine, cfg TransferConfig) (int, error) {
+	total := 0
+	for i := 0; i < cfg.Accounts; i++ {
+		store, ok := e.Object(TransferAccountID(i))
+		if !ok {
+			return 0, fmt.Errorf("sim: transfer account %d not registered", i)
+		}
+		bal, err := strconv.Atoi(store.CommittedValue().Encode())
+		if err != nil {
+			return 0, fmt.Errorf("sim: transfer account %d balance: %w", i, err)
+		}
+		total += bal
+	}
+	return total, nil
+}

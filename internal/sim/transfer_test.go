@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/atomicity"
+	"repro/internal/history"
+)
+
+// TestTransferConservation: the live multi-object transfer workload
+// conserves the total balance — every commit moves money, never creates or
+// destroys it — and the merged history passes the verification stack. The
+// restart-side half of the story (conservation at every crash boundary) is
+// the transfer crash sweep in internal/recovery.
+func TestTransferConservation(t *testing.T) {
+	cfg := DefaultTransferConfig()
+	cfg.TxnsPerWorker = 20
+	cfg.Record = true
+	e := NewTransferEngine(cfg, nil)
+	RunTransfers(e, cfg)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Metrics.Commits.Load() == 0 {
+		t.Fatal("no transfer committed; the workload is not exercising the commit barrier")
+	}
+	total, err := TransferTotal(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := cfg.Accounts * cfg.InitialBalance; total != want {
+		t.Fatalf("total balance = %d, want %d (a transfer was half-applied)", total, want)
+	}
+	h := e.History()
+	if err := history.WellFormed(h); err != nil {
+		t.Fatalf("merged history malformed: %v", err)
+	}
+	sp := cfg.BankAccount().Spec()
+	specs := atomicity.Specs{}
+	for _, obj := range h.Objects() {
+		specs[obj] = sp
+	}
+	rng := rand.New(rand.NewSource(5))
+	da, viol, err := atomicity.DynamicAtomicSampled(h, specs, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !da {
+		t.Fatalf("history not dynamic atomic: %v", viol)
+	}
+}
+
+// TestTransferAbortsCompensate: with every complete transfer aborting
+// voluntarily, the undo path restores both legs and the total still never
+// moves — multi-object compensation under concurrency.
+func TestTransferAbortsCompensate(t *testing.T) {
+	cfg := DefaultTransferConfig()
+	cfg.TxnsPerWorker = 15
+	cfg.AbortPct = 100
+	e := NewTransferEngine(cfg, nil)
+	RunTransfers(e, cfg)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Metrics.Aborts.Load() == 0 {
+		t.Fatal("no aborts; the workload is not exercising compensation")
+	}
+	total, err := TransferTotal(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := cfg.Accounts * cfg.InitialBalance; total != want {
+		t.Fatalf("total balance = %d, want %d (an abort left half a transfer)", total, want)
+	}
+	for i := 0; i < cfg.Accounts; i++ {
+		store, _ := e.Object(TransferAccountID(i))
+		if got := store.CommittedValue().Encode(); got != "1000" {
+			t.Errorf("account %d = %s, want 1000 (all transfers aborted)", i, got)
+		}
+	}
+}

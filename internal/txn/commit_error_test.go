@@ -1,0 +1,49 @@
+package txn
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/adt"
+)
+
+// TestCommitPrepareFailureReleasesLocks: a Commit that fails mid-protocol
+// (here: a touched participant that is no longer registered, failing the
+// prepare phase) must still release every lock the transaction holds and
+// clear its wait edges — the regression for the leak where an error return
+// left the transaction state committed with locks held forever.
+func TestCommitPrepareFailureReleasesLocks(t *testing.T) {
+	e := newBankEngine(UndoLogRecovery)
+	tx := e.Begin()
+	if _, err := tx.Invoke(acct, adt.Deposit(5)); err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage the participant set: an object that was never registered,
+	// so the prepare sweep fails after the deposit's lock is held.
+	tx.touched["ghost"] = true
+	tx.order = append(tx.order, "ghost")
+	err := tx.Commit()
+	if err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Fatalf("Commit = %v, want prepare failure naming the ghost object", err)
+	}
+	// The deposit's lock must be gone: a conflicting withdrawal by another
+	// transaction completes instead of waiting on the leaked lock.
+	tx2 := e.Begin()
+	done := make(chan error, 1)
+	go func() {
+		_, err := tx2.Invoke(acct, adt.Withdraw(3))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("conflicting withdraw after failed commit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("conflicting withdraw still blocked: failed Commit leaked its locks")
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}

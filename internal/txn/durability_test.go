@@ -16,7 +16,10 @@ func (b *failingBackend) Close() error            { return nil }
 
 // TestCommitSurfacesBackendFailure: when the WAL backend cannot persist
 // the group-commit batch, Commit must return an error rather than ack a
-// commit that never became durable — in both flush modes.
+// commit that never became durable — in both flush modes. The error wraps
+// ErrDurability (the commit took effect in memory; the durable log is
+// behind) and is booked in Metrics.DurabilityFailures, not Commits, so
+// the success counter never double-books an errored call.
 func TestCommitSurfacesBackendFailure(t *testing.T) {
 	devErr := errors.New("log device gone")
 	for _, mode := range []struct {
@@ -38,8 +41,12 @@ func TestCommitSurfacesBackendFailure(t *testing.T) {
 			if _, err := tx.Invoke("X", adt.Deposit(3)); err != nil {
 				t.Fatal(err)
 			}
-			if err := tx.Commit(); !errors.Is(err, devErr) {
+			err = tx.Commit()
+			if !errors.Is(err, devErr) {
 				t.Fatalf("Commit = %v, want the backend failure surfaced", err)
+			}
+			if !errors.Is(err, ErrDurability) {
+				t.Fatalf("Commit = %v, want ErrDurability (committed in memory, log behind)", err)
 			}
 			// The in-memory engine remains consistent: effects applied,
 			// locks released, a new transaction can read the state.
@@ -51,12 +58,51 @@ func TestCommitSurfacesBackendFailure(t *testing.T) {
 			if res != "3" {
 				t.Fatalf("balance after failed-durability commit = %q, want 3", res)
 			}
-			if err := tx2.Commit(); !errors.Is(err, devErr) {
-				t.Fatalf("second Commit = %v, want the sticky backend failure", err)
+			if err := tx2.Commit(); !errors.Is(err, devErr) || !errors.Is(err, ErrDurability) {
+				t.Fatalf("second Commit = %v, want the sticky backend failure as ErrDurability", err)
+			}
+			if got, want := e.Metrics.DurabilityFailures.Load(), int64(2); got != want {
+				t.Errorf("DurabilityFailures = %d, want %d", got, want)
+			}
+			if got := e.Metrics.Commits.Load(); got != 0 {
+				t.Errorf("Commits = %d, want 0 (durability failures must not double-book)", got)
 			}
 			if err := e.Close(); !errors.Is(err, devErr) {
 				t.Fatalf("Close = %v, want the backend failure", err)
 			}
 		})
+	}
+}
+
+// TestAbortSurfacesBackendFailure: the compensation-record flush of Abort
+// is held to the same standard as Commit's barrier — a backend failure
+// surfaces as ErrDurability and books a durability failure, not an abort.
+func TestAbortSurfacesBackendFailure(t *testing.T) {
+	devErr := errors.New("log device gone")
+	log, err := wal.Open(wal.Config{Backend: &failingBackend{err: devErr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba := adt.DefaultBankAccount()
+	e := NewEngine(Options{WAL: log})
+	e.MustRegister("X", ba, ba.NRBC(), UndoLogRecovery)
+	tx := e.Begin()
+	if _, err := tx.Invoke("X", adt.Deposit(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); !errors.Is(err, devErr) || !errors.Is(err, ErrDurability) {
+		t.Fatalf("Abort = %v, want the backend failure as ErrDurability", err)
+	}
+	if got := e.Metrics.Aborts.Load(); got != 0 {
+		t.Errorf("Aborts = %d, want 0 (durability failures must not double-book)", got)
+	}
+	if got := e.Metrics.DurabilityFailures.Load(); got != 1 {
+		t.Errorf("DurabilityFailures = %d, want 1", got)
+	}
+	// The in-memory undo completed: the balance is back to zero.
+	tx2 := e.Begin()
+	res, err := tx2.Invoke("X", adt.Balance())
+	if err != nil || res != "0" {
+		t.Fatalf("balance after failed-durability abort = %q (%v), want 0", res, err)
 	}
 }

@@ -4,8 +4,11 @@
 // a conflict-relation-driven lock table (strict operation-level two-phase
 // locking) with a recovery store (update-in-place undo logging or
 // deferred-update intentions lists); commits across objects use a
-// two-phase protocol; and every event is recorded in a global history that
-// the atomicity checkers and the abstract model can audit after the fact.
+// two-phase protocol whose durable decision point is a single
+// transaction-level commit record (wal.TxnCommitRec, staged before any
+// lock is released — restart is presumed-abort); and every event is
+// recorded in a global history that the atomicity checkers and the
+// abstract model can audit after the fact.
 //
 // The engine is sharded so that throughput scales with cores: the object
 // registry is striped over a power-of-two array of shards, object lookup is
@@ -74,6 +77,14 @@ var ErrAborted = errors.New("txn: transaction aborted")
 // transactions.
 var ErrNotActive = errors.New("txn: transaction not active")
 
+// ErrDurability is wrapped by Commit and Abort when the transaction has
+// fully taken effect in memory (effects applied or undone, locks released)
+// but the WAL backend failed to persist its records — the durable log is
+// behind the in-memory state. Callers distinguish this "committed in
+// memory, log behind" outcome from a failed commit with
+// errors.Is(err, ErrDurability).
+var ErrDurability = errors.New("txn: durable log behind in-memory state")
+
 // Metrics counts engine-level events. All fields are updated atomically and
 // may be read concurrently.
 type Metrics struct {
@@ -90,6 +101,11 @@ type Metrics struct {
 	BlockEvents atomic.Int64
 	// NotEnabled counts partial invocations that found no legal response.
 	NotEnabled atomic.Int64
+	// DurabilityFailures counts transactions that completed in memory but
+	// whose WAL backend sync failed (Commit/Abort returned ErrDurability).
+	// Such transactions are counted here, not in Commits/Aborts, so the
+	// success counters never double-book an errored call.
+	DurabilityFailures atomic.Int64
 }
 
 // Options configures an Engine.
@@ -391,17 +407,50 @@ func (t *Txn) touch(mo *managedObject) {
 	}
 }
 
+// releaseLocks releases every lock the transaction holds at every touched
+// object (waking waiters) and clears its wait edges in the deadlock
+// detector. It runs on every Commit/Abort exit path — success or error —
+// so no path can leak locks or leave stale waits-for edges behind.
+func (t *Txn) releaseLocks() {
+	e := t.eng
+	for _, obj := range t.order {
+		mo, ok := e.lookup(obj)
+		if !ok {
+			continue // vanished object: nothing left to release there
+		}
+		mo.mu.Lock()
+		mo.table.Release(t.id)
+		mo.cond.Broadcast()
+		mo.mu.Unlock()
+	}
+	e.detector.ClearWaits(t.id)
+}
+
 // Commit commits the transaction at every touched object using a two-phase
-// sweep: prepare (validate) all objects, then commit and release locks at
-// each. With the single-process engine the prepare phase cannot fail after
-// successful operations, but the structure mirrors the atomic-commitment
-// protocols the paper's model assumes. Commit is the group-commit point:
-// after the per-object sweep it issues a flush barrier on the shared WAL,
-// batching this transaction's staged records — and those of every
+// sweep: prepare (validate) all objects, then commit at each while still
+// holding its locks, stage the transaction-level commit record, and only
+// then release locks and wait for durability. With the single-process
+// engine the prepare phase cannot fail after successful operations, but
+// the structure mirrors the atomic-commitment protocols the paper's model
+// assumes.
+//
+// The wal.TxnCommitRec staged between the per-object sweep and the lock
+// release is the transaction's single durable commit point: restart is
+// presumed-abort, so the transaction survives a crash if and only if this
+// record reached the backend (the per-object CommitRecs are redo hints
+// only). Staging it before any lock is released means every transaction
+// that observes this one's committed state stages its own records — and
+// its own TxnCommitRec — strictly later, so a durable log prefix can never
+// contain a dependent winner without its predecessor.
+//
+// Commit is the group-commit point: the flush barrier after the lock
+// release batches this transaction's staged records — and those of every
 // concurrently committing transaction — into one contiguous LSN
-// assignment. The barrier returns only after the batch reaches the log's
-// durability backend, so Commit's success means the commit records are as
-// durable as the backend provides.
+// assignment, returning only after the batch reaches the log's durability
+// backend. A backend failure is reported as ErrDurability: the transaction
+// is committed in memory (effects visible, locks released, counted in
+// Metrics.DurabilityFailures rather than Commits) but the durable log is
+// behind.
 func (t *Txn) Commit() error {
 	if !t.state.CompareAndSwap(int32(active), int32(committed)) {
 		return fmt.Errorf("txn %s: commit: %w", t.id, ErrNotActive)
@@ -411,44 +460,55 @@ func (t *Txn) Commit() error {
 	// Phase 1: prepare — verify every participant is still registered.
 	for _, obj := range objs {
 		if _, ok := e.lookup(obj); !ok {
+			t.releaseLocks()
 			return fmt.Errorf("txn %s: prepare: object %q vanished", t.id, obj)
 		}
 	}
-	// Phase 2: commit at each object, releasing locks.
+	// Phase 2a: commit at each object while holding its locks. The
+	// per-object CommitRec staged by an undo-log store here is a redo hint;
+	// the commit decision itself is the transaction-level record below.
 	for _, obj := range objs {
 		mo, ok := e.lookup(obj)
 		if !ok {
+			t.releaseLocks()
 			return fmt.Errorf("txn %s: commit: object %q vanished", t.id, obj)
 		}
 		mo.mu.Lock()
 		if err := mo.store.Commit(t.id); err != nil {
 			mo.mu.Unlock()
+			t.releaseLocks()
 			return fmt.Errorf("txn %s: commit at %s: %w", t.id, obj, err)
 		}
-		mo.table.Release(t.id)
 		e.record(mo, history.Event{Kind: history.Commit, Obj: obj, Txn: t.id})
-		mo.cond.Broadcast()
 		mo.mu.Unlock()
 	}
+	// The durable commit point, staged exactly once, after every object's
+	// commit processing and before any lock release.
+	if t.wroteWAL {
+		e.log.AppendAsync(wal.Record{Kind: wal.TxnCommitRec, Txn: t.id})
+	}
+	// Phase 2b: release locks and wake waiters.
+	t.releaseLocks()
 	if t.wroteWAL {
 		e.log.Flush()
 		if err := e.log.Err(); err != nil {
 			// The transaction is committed in memory (locks are released,
 			// effects visible) but the durable log is behind: fail loudly
 			// rather than ack a commit the backend never persisted.
-			e.detector.ClearWaits(t.id)
-			e.Metrics.Commits.Add(1)
-			return fmt.Errorf("txn %s: committed in memory but WAL backend failed: %w", t.id, err)
+			e.Metrics.DurabilityFailures.Add(1)
+			return fmt.Errorf("txn %s: committed in memory but WAL backend failed: %w: %w",
+				t.id, ErrDurability, err)
 		}
 	}
-	e.detector.ClearWaits(t.id)
 	e.Metrics.Commits.Add(1)
 	return nil
 }
 
 // Abort aborts the transaction at every touched object, undoing its
-// effects per each object's recovery discipline and releasing its locks,
-// then flushes the staged compensation records.
+// effects per each object's recovery discipline, releasing its locks on
+// every exit path, then flushes the staged compensation records. As with
+// Commit, a WAL backend failure after a completed in-memory abort is
+// reported as ErrDurability and counted in Metrics.DurabilityFailures.
 func (t *Txn) Abort() error {
 	if !t.state.CompareAndSwap(int32(active), int32(aborted)) {
 		return fmt.Errorf("txn %s: abort: %w", t.id, ErrNotActive)
@@ -457,11 +517,13 @@ func (t *Txn) Abort() error {
 	for _, obj := range t.sortedTouched() {
 		mo, ok := e.lookup(obj)
 		if !ok {
+			t.releaseLocks()
 			return fmt.Errorf("txn %s: abort: object %q vanished", t.id, obj)
 		}
 		mo.mu.Lock()
 		if err := mo.store.Abort(t.id); err != nil {
 			mo.mu.Unlock()
+			t.releaseLocks()
 			return fmt.Errorf("txn %s: abort at %s: %w", t.id, obj, err)
 		}
 		mo.table.Release(t.id)
@@ -469,15 +531,15 @@ func (t *Txn) Abort() error {
 		mo.cond.Broadcast()
 		mo.mu.Unlock()
 	}
+	e.detector.ClearWaits(t.id)
 	if t.wroteWAL {
 		e.log.Flush()
 		if err := e.log.Err(); err != nil {
-			e.detector.ClearWaits(t.id)
-			e.Metrics.Aborts.Add(1)
-			return fmt.Errorf("txn %s: aborted in memory but WAL backend failed: %w", t.id, err)
+			e.Metrics.DurabilityFailures.Add(1)
+			return fmt.Errorf("txn %s: aborted in memory but WAL backend failed: %w: %w",
+				t.id, ErrDurability, err)
 		}
 	}
-	e.detector.ClearWaits(t.id)
 	e.Metrics.Aborts.Add(1)
 	return nil
 }

@@ -249,7 +249,7 @@ func decodeRecord(line string) (Record, error) {
 		return Record{}, fmt.Errorf("wal: bad LSN %q", fields[0])
 	}
 	kind, err := strconv.Atoi(fields[1])
-	if err != nil || kind < int(Update) || kind > int(CompensationRec) {
+	if err != nil || kind < int(Update) || kind > int(TxnCommitRec) {
 		return Record{}, fmt.Errorf("wal: bad record kind %q", fields[1])
 	}
 	prev, err := strconv.ParseUint(fields[4], 10, 64)

@@ -25,6 +25,8 @@ func TestFileBackendRoundTrip(t *testing.T) {
 		{LSN: 4, Kind: CompensationRec, Txn: "T\t2", Obj: "obj\nwith\\newline", PrevLSN: 2,
 			Op: adt.PutOk("k\tey", "v\nal")},
 		{LSN: 5, Kind: AbortRec, Txn: "T\t2", Obj: "obj\nwith\\newline", PrevLSN: 4},
+		// The transaction-level commit record has no object and no operation.
+		{LSN: 6, Kind: TxnCommitRec, Txn: "T1", PrevLSN: 3},
 	}
 	if err := b.Sync(recs); err != nil {
 		t.Fatal(err)

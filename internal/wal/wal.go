@@ -32,7 +32,10 @@
 //
 // In both modes LSN order is consistent with per-object and per-transaction
 // execution order even across transactions in one batch — the invariant the
-// Restart redo pass replays by. After sequencing, each batch is handed to
+// Restart redo pass replays by. Each batch is moreover a consistent cut of
+// the staging buffers (the drain holds every stripe lock at once), so a
+// batch boundary — the unit of crash loss — never separates a record from
+// a causally earlier one. After sequencing, each batch is handed to
 // the configured Backend (an in-memory no-op by default; see backend.go for
 // the fsync-simulating and file backends); commit acknowledgement happens
 // only after the backend's Sync returns, so an acked commit is durable to
@@ -76,6 +79,15 @@ const (
 	// CompensationRec records the undo of one update during abort
 	// processing (a compensation log record, in ARIES terminology).
 	CompensationRec
+	// TxnCommitRec is the transaction-level commit record: the single
+	// durable commit point of a transaction, staged exactly once by
+	// Txn.Commit after every touched object's commit processing and before
+	// the durability barrier. Obj is empty — the record belongs to the
+	// transaction, not to any object. Recovery is presumed-abort: a
+	// transaction without a durable TxnCommitRec is a loser at restart,
+	// even if some of its per-object CommitRecs survived; the per-object
+	// records remain as redo hints only.
+	TxnCommitRec
 )
 
 // String implements fmt.Stringer.
@@ -89,6 +101,8 @@ func (k RecordKind) String() string {
 		return "abort"
 	case CompensationRec:
 		return "clr"
+	case TxnCommitRec:
+		return "txn-commit"
 	}
 	return fmt.Sprintf("RecordKind(%d)", int(k))
 }
@@ -439,13 +453,26 @@ func (l *Log) flushOnce() {
 	ws := l.waiters
 	l.waiters = nil
 	l.waitMu.Unlock()
+	// Drain every stripe while holding all stripe locks at once, so the
+	// batch is a consistent cut of the staging buffers: every record staged
+	// before the drain is in this batch, and every record staged after it
+	// carries a larger stamp (stamps are taken under the stripe lock). Each
+	// durable batch is therefore a stamp-prefix of the log — a boundary
+	// between batches can never separate a record from a causally earlier
+	// one in another stripe, which is what makes the durable winner set of
+	// crash recovery closed under read-from (a committed reader's
+	// TxnCommitRec can never be durable without the commit it read from).
 	var batch []*stagedRec
 	for _, st := range l.stripes {
 		st.mu.Lock()
+	}
+	for _, st := range l.stripes {
 		if len(st.staged) > 0 {
 			batch = append(batch, st.staged...)
 			st.staged = nil
 		}
+	}
+	for _, st := range l.stripes {
 		st.mu.Unlock()
 	}
 	if len(batch) > 0 {

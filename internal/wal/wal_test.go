@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -93,9 +94,56 @@ func TestConcurrentAppends(t *testing.T) {
 	}
 }
 
+// TestFlushBatchIsConsistentCut: a record staged after another one (here:
+// later in program order, landing in a different stripe) must never be
+// sequenced into an earlier batch — it must receive a larger LSN even with
+// a rival flusher racing the two stage calls. This is the stamp-prefix
+// (consistent cut) property of the batch drain; crash recovery's
+// presumed-abort argument relies on it, because a batch boundary is the
+// unit of durability loss and must not separate a commit record from a
+// causally later one.
+func TestFlushBatchIsConsistentCut(t *testing.T) {
+	l := NewStriped(8)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				l.Flush()
+			}
+		}
+	}()
+	type pair struct{ first, second *stagedRec }
+	var pairs []pair
+	for i := 0; i < 400; i++ {
+		// Distinct txn IDs so the two records of a pair spread over stripes.
+		a := l.stage(Record{Kind: Update, Txn: history.TxnID(fmt.Sprintf("A%03d", i)), Obj: "X", Op: adt.DepositOk(1)})
+		b := l.stage(Record{Kind: TxnCommitRec, Txn: history.TxnID(fmt.Sprintf("B%03d", i))})
+		pairs = append(pairs, pair{a, b})
+	}
+	close(stop)
+	wg.Wait()
+	l.Flush()
+	for i, p := range pairs {
+		if p.first.lsn == 0 || p.second.lsn == 0 {
+			t.Fatalf("pair %d: record never sequenced (%d, %d)", i, p.first.lsn, p.second.lsn)
+		}
+		if p.first.lsn >= p.second.lsn {
+			t.Fatalf("pair %d: staged-earlier record got LSN %d >= %d — batch was not a consistent cut",
+				i, p.first.lsn, p.second.lsn)
+		}
+	}
+}
+
 func TestRecordKindString(t *testing.T) {
 	kinds := map[RecordKind]string{
 		Update: "update", CommitRec: "commit", AbortRec: "abort", CompensationRec: "clr",
+		TxnCommitRec: "txn-commit",
 	}
 	for k, want := range kinds {
 		if k.String() != want {
