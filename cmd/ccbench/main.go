@@ -4,17 +4,19 @@
 // and resource-pool workloads under every scheduler pairing, the recovery
 // cost profile, the engine scaling sweep (shard count × GOMAXPROCS ×
 // operation mix — update-heavy and read-mostly — on the wide-object
-// workload), and the group-commit flush sweep (flusher dwell × simulated
-// sync latency against the asynchronous WAL).
+// workload), the group-commit flush sweep (flusher dwell × simulated
+// sync latency against the asynchronous WAL), and the lock-release-policy
+// sweep (release policy × sync latency × contention skew — the measured
+// cost of commit-ordered lock release).
 //
 // Usage:
 //
 //	ccbench                            # full suite at default sizes
 //	ccbench -quick                     # reduced sizes
-//	ccbench -experiment mass           # one of: mass, banking, pool, recovery, scaling, flush
+//	ccbench -experiment mass           # one of: mass, banking, pool, recovery, scaling, flush, release
 //	ccbench -experiment scaling,flush  # a comma-separated subset
 //	ccbench -shards 8                  # fix the engine shard count (0 = sweep 1..16)
-//	ccbench -json                      # also write BENCH_engine.json (scaling + flush points)
+//	ccbench -json                      # also write BENCH_engine.json (scaling/flush/release points)
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 	"repro/internal/adt"
 	"repro/internal/commute"
 	"repro/internal/sim"
+	"repro/internal/txn"
 )
 
 // benchJSONPath is where -json writes the machine-readable sweep points,
@@ -37,7 +40,7 @@ const benchJSONPath = "BENCH_engine.json"
 
 var (
 	flagShards = flag.Int("shards", 0, "engine shard count for the scaling experiment (0 = sweep 1,2,4,8,16)")
-	flagJSON   = flag.Bool("json", false, "write scaling and flush results to "+benchJSONPath)
+	flagJSON   = flag.Bool("json", false, "write scaling, flush, and release results to "+benchJSONPath)
 )
 
 // experimentOrder is the single source of truth for experiment names and
@@ -53,6 +56,7 @@ var experimentOrder = []struct {
 	{"recovery", recoveryExperiment},
 	{"scaling", scalingExperiment},
 	{"flush", flushExperiment},
+	{"release", releaseExperiment},
 }
 
 func experimentNames() string {
@@ -69,6 +73,7 @@ func experimentNames() string {
 type benchDoc struct {
 	Scaling []sim.ScalingPoint `json:"scaling,omitempty"`
 	Flush   []sim.FlushPoint   `json:"flush,omitempty"`
+	Release []sim.ReleasePoint `json:"release,omitempty"`
 }
 
 var benchOut benchDoc
@@ -99,8 +104,8 @@ func main() {
 		}
 	}
 	if *flagJSON {
-		if len(benchOut.Scaling) == 0 && len(benchOut.Flush) == 0 {
-			fmt.Fprintf(os.Stderr, "ccbench: -json applies to the scaling and flush experiments; no %s written\n", benchJSONPath)
+		if len(benchOut.Scaling) == 0 && len(benchOut.Flush) == 0 && len(benchOut.Release) == 0 {
+			fmt.Fprintf(os.Stderr, "ccbench: -json applies to the scaling, flush, and release experiments; no %s written\n", benchJSONPath)
 			return
 		}
 		writeBenchJSON()
@@ -120,6 +125,9 @@ func writeBenchJSON() {
 			if len(benchOut.Flush) == 0 {
 				benchOut.Flush = old.Flush
 			}
+			if len(benchOut.Release) == 0 {
+				benchOut.Release = old.Release
+			}
 		}
 	}
 	f, err := os.Create(benchJSONPath)
@@ -137,8 +145,43 @@ func writeBenchJSON() {
 		fmt.Fprintf(os.Stderr, "ccbench: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %d scaling + %d flush points to %s\n",
-		len(benchOut.Scaling), len(benchOut.Flush), benchJSONPath)
+	fmt.Printf("wrote %d scaling + %d flush + %d release points to %s\n",
+		len(benchOut.Scaling), len(benchOut.Flush), len(benchOut.Release), benchJSONPath)
+}
+
+// releaseExperiment measures the lock-release-policy trade-off (E16):
+// throughput, commit-latency percentiles, commit-time lock hold, and
+// dependency stalls across release policy × simulated sync latency ×
+// contention skew, on the asynchronous WAL over the fsync-simulating
+// backend. ReleaseAfterAck closes the early-release durability hole by
+// holding locks across the barrier — the hold then includes the flusher
+// dwell plus the sync — while ReleaseEarlyTracked closes it with
+// dependency tickets at (near) zero lock-hold cost. In quick mode a single
+// smoke point per policy keeps the sweep path exercised in CI.
+func releaseExperiment(quick bool) {
+	cfg := sim.DefaultReleaseConfig()
+	policies := []txn.ReleasePolicy{txn.ReleaseEarlyTracked, txn.ReleaseAfterAck}
+	latencies := []time.Duration{0, 100 * time.Microsecond, 500 * time.Microsecond}
+	skews := []float64{0, 1.3}
+	if quick {
+		cfg.TxnsPerWorker = 30
+		latencies = []time.Duration{100 * time.Microsecond}
+		skews = []float64{0}
+	}
+	pts, err := sim.ReleaseSweep(sim.UIPNRBC, cfg, policies, latencies, skews)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ccbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(sim.RenderReleaseTable(
+		fmt.Sprintf("E16 — lock-release-policy sweep, %d accounts, %d workers, dwell %dus, GOMAXPROCS=%d (policy × sync latency × zipf skew)",
+			cfg.Objects, cfg.Workers, cfg.BatchInterval.Microseconds(), runtime.GOMAXPROCS(0)), pts))
+	fmt.Println("shape: release-after-ack's mean lock hold includes the dwell and the sync —")
+	fmt.Println("its blocked count and commit latency grow with sync latency and skew, while")
+	fmt.Println("release-early-tracked keeps holds at in-memory cost and pays only dependency")
+	fmt.Println("stalls (commits whose read-from set was not yet durable at the barrier).")
+	fmt.Println()
+	benchOut.Release = pts
 }
 
 // flushExperiment measures the group-commit trade-off (E15): commit-

@@ -37,10 +37,21 @@
 // halves. See internal/txn, internal/history, internal/wal, and
 // internal/recovery.
 //
+// Lock release is commit-LSN ordered (txn.Options.ReleasePolicy): either
+// locks are held across the durability barrier (ReleaseAfterAck), or —
+// the default — they release early and every managed object publishes its
+// last committed writer's WAL stage ticket, so a dependent's own barrier
+// waits until the durable watermark covers its read-from set
+// (ReleaseEarlyTracked) and a dead backend cascades termination through
+// the abort path instead of acknowledging commits the log will never
+// contain. Either way, no acknowledged commit ever reads from an unsynced
+// loser.
+//
 // The benchmarks in bench_test.go regenerate every table and figure of the
 // paper plus the engine scaling sweep (shards × GOMAXPROCS × operation
-// mix, including a read-mostly variant) and the group-commit flush sweep
-// (flusher dwell × sync latency); `ccbench -experiment scaling,flush
-// -json` writes both to BENCH_engine.json. See EXPERIMENTS.md for the
-// methodology and the 1-vCPU measurement caveats.
+// mix, including a read-mostly variant), the group-commit flush sweep
+// (flusher dwell × sync latency), and the lock-release-policy sweep
+// (policy × sync latency × contention skew); `ccbench -experiment
+// scaling,flush,release -json` writes them to BENCH_engine.json. See
+// EXPERIMENTS.md for the methodology and the 1-vCPU measurement caveats.
 package repro

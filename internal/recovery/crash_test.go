@@ -53,10 +53,18 @@ func crashMachine() adt.Machine {
 }
 
 // runCrashWorkload drives the banking workload against a file-backed async
-// WAL that stops persisting at batch crashAt (crashAt < 0 = never crash).
-// It returns the number of batch boundaries the run produced, the live
-// engine (quiescent, closed), and the live committed value per object.
+// WAL that stops persisting at batch crashAt (crashAt < 0 = never crash),
+// under the default release policy. It returns the number of batch
+// boundaries the run produced, the live engine (quiescent, closed), and
+// the live committed value per object.
 func runCrashWorkload(t *testing.T, path string, crashAt int, seed int64) (int, *txn.Engine) {
+	t.Helper()
+	return runCrashWorkloadPolicy(t, path, crashAt, seed, txn.ReleaseEarlyTracked)
+}
+
+// runCrashWorkloadPolicy is runCrashWorkload with an explicit lock-release
+// policy — the crash sweeps run under both disciplines.
+func runCrashWorkloadPolicy(t *testing.T, path string, crashAt int, seed int64, pol txn.ReleasePolicy) (int, *txn.Engine) {
 	t.Helper()
 	backend, err := wal.CreateFileBackend(path)
 	if err != nil {
@@ -78,7 +86,7 @@ func runCrashWorkload(t *testing.T, path string, crashAt int, seed int64) (int, 
 	ba := adt.BankAccount{InitialBalance: crashInitialBalance, MaxBalance: 1 << 20,
 		Amounts: []int{1, 2, 3}}
 	rel := adt.DefaultBankAccount().NRBC()
-	e := txn.NewEngine(txn.Options{RecordHistory: true, Shards: 4, WAL: log})
+	e := txn.NewEngine(txn.Options{RecordHistory: true, Shards: 4, WAL: log, ReleasePolicy: pol})
 	for i := 0; i < crashObjects; i++ {
 		e.MustRegister(crashObjID(i), ba, rel, txn.UndoLogRecovery)
 	}

@@ -129,10 +129,15 @@ func (u *UndoLog) Apply(txn history.TxnID, inv spec.Invocation) (spec.Response, 
 	if err != nil {
 		return "", err
 	}
-	u.current = next
 	op := spec.Op(inv, res)
+	// Stage before mutating: a closed log (a commit racing Engine.Close)
+	// must leave the state and the undo chain untouched, so the caller sees
+	// a typed failure with nothing half-applied.
+	if _, err := u.log.AppendAsync(wal.Record{Kind: wal.Update, Txn: txn, Obj: u.obj, Op: op, Undo: logged}); err != nil {
+		return "", fmt.Errorf("recovery: logging %s: %w", op, err)
+	}
+	u.current = next
 	u.chain[txn] = append(u.chain[txn], undoRec{op: op, before: before})
-	u.log.AppendAsync(wal.Record{Kind: wal.Update, Txn: txn, Obj: u.obj, Op: op, Undo: logged})
 	u.stats.Applies++
 	return res, nil
 }
@@ -143,13 +148,20 @@ func (u *UndoLog) Apply(txn history.TxnID, inv spec.Invocation) (spec.Response, 
 // commits only when the engine's transaction-level wal.TxnCommitRec
 // reaches the backend (recovery is presumed-abort; see Restart).
 func (u *UndoLog) Commit(txn history.TxnID) error {
+	// Stage before dropping the chain: if the log is closed the commit
+	// fails with the chain intact, so the engine can still abort the
+	// transaction cleanly.
+	if _, err := u.log.AppendAsync(wal.Record{Kind: wal.CommitRec, Txn: txn, Obj: u.obj}); err != nil {
+		return fmt.Errorf("recovery: logging commit of %s: %w", txn, err)
+	}
 	delete(u.chain, txn)
-	u.log.AppendAsync(wal.Record{Kind: wal.CommitRec, Txn: txn, Obj: u.obj})
 	return nil
 }
 
 // Abort implements Store: walk the undo chain backward applying logical
-// inverses (writing compensation records), then log the abort.
+// inverses (writing compensation records), then log the abort. Each
+// compensation record is staged before its undo is applied, so a closed
+// log stops the walk with the remaining chain suffix intact.
 func (u *UndoLog) Abort(txn history.TxnID) error {
 	recs := u.chain[txn]
 	for i := len(recs) - 1; i >= 0; i-- {
@@ -164,12 +176,18 @@ func (u *UndoLog) Abort(txn history.TxnID) error {
 		if err != nil {
 			return fmt.Errorf("recovery: undo %s for %s: %w", r.op, txn, err)
 		}
+		if _, err := u.log.AppendAsync(wal.Record{Kind: wal.CompensationRec, Txn: txn, Obj: u.obj, Op: r.op}); err != nil {
+			u.chain[txn] = recs[:i+1]
+			return fmt.Errorf("recovery: logging undo of %s for %s: %w", r.op, txn, err)
+		}
 		u.current = next
-		u.log.AppendAsync(wal.Record{Kind: wal.CompensationRec, Txn: txn, Obj: u.obj, Op: r.op})
+		u.chain[txn] = recs[:i]
 		u.stats.Undos++
 	}
 	delete(u.chain, txn)
-	u.log.AppendAsync(wal.Record{Kind: wal.AbortRec, Txn: txn, Obj: u.obj})
+	if _, err := u.log.AppendAsync(wal.Record{Kind: wal.AbortRec, Txn: txn, Obj: u.obj}); err != nil {
+		return fmt.Errorf("recovery: logging abort of %s: %w", txn, err)
+	}
 	return nil
 }
 

@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/adt"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// ReleaseConfig parameterizes the lock-release-policy experiment: the
+// shared banking workload against an asynchronous WAL, with the release
+// policy, the simulated sync latency, and the contention skew as
+// independent variables. The dependent variables — throughput, commit
+// latency percentiles, mean commit-time lock hold, and dependency stalls —
+// quantify what holding locks to the durability acknowledgement costs
+// versus what tracked early release pays (nearly nothing, since with
+// consistent-cut batches a dependency is durable by the time its reader's
+// own barrier acks).
+type ReleaseConfig struct {
+	FlushConfig
+	Policy txn.ReleasePolicy
+}
+
+// DefaultReleaseConfig is the flush workload with a 200µs flusher dwell —
+// enough dwell that ReleaseAfterAck's held-lock window (dwell + sync) is
+// visible against the early-release baseline.
+func DefaultReleaseConfig() ReleaseConfig {
+	cfg := ReleaseConfig{FlushConfig: DefaultFlushConfig()}
+	cfg.BatchInterval = 200 * time.Microsecond
+	return cfg
+}
+
+// ReleasePoint is one measured point of the policy × sync-latency ×
+// contention sweep.
+type ReleasePoint struct {
+	Scheduler        string  `json:"scheduler"`
+	Policy           string  `json:"policy"`
+	BatchIntervalUS  int64   `json:"batch_interval_us"`
+	SyncLatencyUS    int64   `json:"sync_latency_us"`
+	ZipfS            float64 `json:"zipf_s,omitempty"`
+	Workers          int     `json:"workers"`
+	Commits          int64   `json:"commits"`
+	Aborts           int64   `json:"aborts"`
+	Blocked          int64   `json:"blocked"`
+	DependencyStalls int64   `json:"dependency_stalls"`
+	MeanHoldUS       float64 `json:"mean_hold_us"`
+	CommitP50US      float64 `json:"commit_p50_us"`
+	CommitP99US      float64 `json:"commit_p99_us"`
+	TxnPerSec        float64 `json:"txn_per_sec"`
+	ElapsedNS        int64   `json:"elapsed_ns"`
+}
+
+// RunRelease executes the workload under the configured release policy
+// against an asynchronous flusher over the fsync-simulating backend,
+// measuring per-commit latency and the commit protocol's lock hold time.
+func RunRelease(s Scheduler, cfg ReleaseConfig) (ReleasePoint, error) {
+	backend := wal.NewLatencyBackend(cfg.SyncLatency, nil)
+	log, err := wal.Open(wal.Config{
+		Async:         true,
+		BatchInterval: cfg.BatchInterval,
+		MaxBatch:      cfg.MaxBatch,
+		Backend:       backend,
+	})
+	if err != nil {
+		return ReleasePoint{}, err
+	}
+	ba := adt.BankAccount{
+		InitialBalance: cfg.InitialBalance,
+		MaxBalance:     12,
+		Amounts:        []int{1, 2, 3},
+	}
+	rel := bankRelation(s, adt.DefaultBankAccount())
+	e := txn.NewEngine(txn.Options{Shards: cfg.Shards, WAL: log, ReleasePolicy: cfg.Policy})
+	for i := 0; i < cfg.Objects; i++ {
+		e.MustRegister(scalingObjID(i), ba, rel, s.Kind())
+	}
+
+	latencies := make([][]time.Duration, cfg.Workers)
+	start := time.Now()
+	runBankWorkers(e, cfg.ScalingConfig, func(w int, d time.Duration) {
+		latencies[w] = append(latencies[w], d)
+	})
+	elapsed := time.Since(start)
+	if err := e.Close(); err != nil {
+		return ReleasePoint{}, err
+	}
+
+	var all []time.Duration
+	for _, ls := range latencies {
+		all = append(all, ls...)
+	}
+	p := ReleasePoint{
+		Scheduler:        s.String(),
+		Policy:           cfg.Policy.String(),
+		BatchIntervalUS:  cfg.BatchInterval.Microseconds(),
+		SyncLatencyUS:    cfg.SyncLatency.Microseconds(),
+		ZipfS:            cfg.ZipfS,
+		Workers:          cfg.Workers,
+		Commits:          e.Metrics.Commits.Load(),
+		Aborts:           e.Metrics.Aborts.Load(),
+		Blocked:          e.Metrics.Blocked.Load(),
+		DependencyStalls: e.Metrics.DependencyStalls.Load(),
+		CommitP50US:      float64(percentile(all, 50)) / 1e3,
+		CommitP99US:      float64(percentile(all, 99)) / 1e3,
+		ElapsedNS:        elapsed.Nanoseconds(),
+	}
+	if p.Commits > 0 {
+		p.MeanHoldUS = float64(e.Metrics.CommitHoldNS.Load()) / float64(p.Commits) / 1e3
+	}
+	if elapsed > 0 {
+		p.TxnPerSec = float64(p.Commits) / elapsed.Seconds()
+	}
+	return p, nil
+}
+
+// ReleaseSweep measures the workload at every policy × sync-latency ×
+// contention-skew combination — the concurrency cost surface of holding
+// locks to the durable point.
+func ReleaseSweep(s Scheduler, cfg ReleaseConfig, policies []txn.ReleasePolicy,
+	latencies []time.Duration, skews []float64) ([]ReleasePoint, error) {
+	out := make([]ReleasePoint, 0, len(policies)*len(latencies)*len(skews))
+	for _, pol := range policies {
+		for _, sl := range latencies {
+			for _, z := range skews {
+				c := cfg
+				c.Policy = pol
+				c.SyncLatency = sl
+				c.ZipfS = z
+				p, err := RunRelease(s, c)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, p)
+			}
+		}
+	}
+	return out, nil
+}
+
+// RenderReleaseTable renders sweep points as a fixed-width table.
+func RenderReleaseTable(title string, points []ReleasePoint) string {
+	b := fmt.Sprintf("%s\n%-12s %-22s %9s %6s %8s %8s %7s %10s %10s %10s %10s\n",
+		title, "scheduler", "policy", "sync(us)", "zipf", "commits", "blocked", "stalls",
+		"hold(us)", "p50(us)", "p99(us)", "txn/s")
+	for _, p := range points {
+		b += fmt.Sprintf("%-12s %-22s %9d %6.2f %8d %8d %7d %10.0f %10.0f %10.0f %10.0f\n",
+			p.Scheduler, p.Policy, p.SyncLatencyUS, p.ZipfS, p.Commits, p.Blocked,
+			p.DependencyStalls, p.MeanHoldUS, p.CommitP50US, p.CommitP99US, p.TxnPerSec)
+	}
+	return b
+}

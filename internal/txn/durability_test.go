@@ -19,7 +19,10 @@ func (b *failingBackend) Close() error            { return nil }
 // commit that never became durable — in both flush modes. The error wraps
 // ErrDurability (the commit took effect in memory; the durable log is
 // behind) and is booked in Metrics.DurabilityFailures, not Commits, so
-// the success counter never double-books an errored call.
+// the success counter never double-books an errored call. A *dependent*
+// transaction that read the unsynced state is terminated through the
+// abort path instead (ErrDurability+ErrAborted, booked in
+// Metrics.DurabilityAborts) — the ReleaseEarlyTracked cascade.
 func TestCommitSurfacesBackendFailure(t *testing.T) {
 	devErr := errors.New("log device gone")
 	for _, mode := range []struct {
@@ -58,11 +61,21 @@ func TestCommitSurfacesBackendFailure(t *testing.T) {
 			if res != "3" {
 				t.Fatalf("balance after failed-durability commit = %q, want 3", res)
 			}
-			if err := tx2.Commit(); !errors.Is(err, devErr) || !errors.Is(err, ErrDurability) {
-				t.Fatalf("second Commit = %v, want the sticky backend failure as ErrDurability", err)
+			// tx2 read from tx1, whose commit the backend never persisted:
+			// its commit must cascade into an in-memory abort, not pile a
+			// second unsyncable commit on top of the first.
+			err = tx2.Commit()
+			if !errors.Is(err, devErr) || !errors.Is(err, ErrDurability) {
+				t.Fatalf("dependent Commit = %v, want the sticky backend failure as ErrDurability", err)
 			}
-			if got, want := e.Metrics.DurabilityFailures.Load(), int64(2); got != want {
-				t.Errorf("DurabilityFailures = %d, want %d", got, want)
+			if !errors.Is(err, ErrAborted) {
+				t.Fatalf("dependent Commit = %v, want ErrAborted (terminated via the abort path)", err)
+			}
+			if got := e.Metrics.DurabilityFailures.Load(); got != 1 {
+				t.Errorf("DurabilityFailures = %d, want 1 (only the original failure)", got)
+			}
+			if got := e.Metrics.DurabilityAborts.Load(); got != 1 {
+				t.Errorf("DurabilityAborts = %d, want 1 (the cascaded dependent)", got)
 			}
 			if got := e.Metrics.Commits.Load(); got != 0 {
 				t.Errorf("Commits = %d, want 0 (durability failures must not double-book)", got)

@@ -25,6 +25,12 @@
 // its acknowledgement — commits are durable to whatever degree the
 // configured wal.Backend provides (see package wal).
 //
+// Lock release is ordered against durability by Options.ReleasePolicy:
+// ReleaseAfterAck holds locks across the barrier, while the default
+// ReleaseEarlyTracked releases early and tracks commit-ticket
+// dependencies so that no transaction is ever cleanly acknowledged on
+// top of state whose log never synced (see ReleasePolicy).
+//
 // The engine realizes exactly the parameters of I(X, Spec, View, Conflict):
 // pairing an UndoLog store with an NRBC-containing relation yields a
 // correct UIP object (Theorem 9); pairing an Intentions store with an
@@ -40,6 +46,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/adt"
 	"repro/internal/commute"
@@ -67,6 +74,58 @@ func (k RecoveryKind) String() string {
 		return "undo-log(UIP)"
 	}
 	return "intentions(DU)"
+}
+
+// ReleasePolicy selects the lock-release discipline of Txn.Commit relative
+// to the durability barrier — the recovery-constrains-concurrency knob this
+// repository exists to measure. Both shipped policies guarantee that no
+// acknowledged commit ever reads from a commit whose log records failed to
+// sync: either because the state was never visible before its ack
+// (ReleaseAfterAck), or because the reader's own barrier is ordered after
+// its read-from set's durability and a sticky backend failure terminates
+// the reader through the abort path (ReleaseEarlyTracked).
+type ReleasePolicy int
+
+const (
+	// ReleaseEarlyTracked (the default) releases locks as soon as the
+	// transaction-level commit record is staged, before the durability
+	// barrier — classic early lock release, preserving group-commit
+	// concurrency. Each managed object remembers the stage ticket of its
+	// last committed writer; a transaction accumulates the maximum ticket
+	// over everything it touched and its own commit barrier additionally
+	// waits until the WAL's durable watermark covers that dependency.
+	// When the backend has failed, a dependent on an unsynced commit is
+	// terminated through the abort path (its effects are undone and the
+	// error wraps both ErrDurability and ErrAborted) instead of being
+	// committed in memory on top of state the durable log will never
+	// contain.
+	ReleaseEarlyTracked ReleasePolicy = iota
+	// ReleaseAfterAck holds every lock across the flush barrier and
+	// releases only after the backend acknowledges the batch. Dependents
+	// can never observe unsynced state, closing the durability hole
+	// trivially — at the cost of lock hold times that include the flusher
+	// dwell and the sync latency (measured by the ccbench release sweep).
+	ReleaseAfterAck
+	// releaseEarlyUnsafe is the legacy discipline before dependency
+	// tracking: release early, flush, and report a backend failure only
+	// after the fact, leaving the dependent committed in memory on top of
+	// an unsynced loser. It exists so the regression tests can demonstrate
+	// the hole the exported policies close; it is not selectable by
+	// clients.
+	releaseEarlyUnsafe
+)
+
+// String implements fmt.Stringer.
+func (p ReleasePolicy) String() string {
+	switch p {
+	case ReleaseEarlyTracked:
+		return "release-early-tracked"
+	case ReleaseAfterAck:
+		return "release-after-ack"
+	case releaseEarlyUnsafe:
+		return "release-early-unsafe"
+	}
+	return fmt.Sprintf("ReleasePolicy(%d)", int(p))
 }
 
 // ErrAborted is wrapped by operations on a transaction that has been
@@ -106,6 +165,23 @@ type Metrics struct {
 	// Such transactions are counted here, not in Commits/Aborts, so the
 	// success counters never double-book an errored call.
 	DurabilityFailures atomic.Int64
+	// DependencyStalls counts commits that arrived at their durability
+	// barrier before the commit they read from was durable — the
+	// transactions for which early lock release actually bought
+	// concurrency (and which the dependency tracker therefore had to
+	// order behind their read-from set).
+	DependencyStalls atomic.Int64
+	// DurabilityAborts counts transactions terminated through the abort
+	// path because they depended on a commit the failed WAL backend never
+	// persisted (the ErrDurability+ErrAborted cascade of
+	// ReleaseEarlyTracked/ReleaseAfterAck). Not counted in Aborts.
+	DurabilityAborts atomic.Int64
+	// CommitHoldNS accumulates nanoseconds between Commit entry and lock
+	// release — the lock hold time of the commit protocol itself. Under
+	// ReleaseAfterAck it includes the durability barrier; the per-policy
+	// difference is the measured concurrency cost of holding locks to the
+	// ack.
+	CommitHoldNS atomic.Int64
 }
 
 // Options configures an Engine.
@@ -122,6 +198,9 @@ type Options struct {
 	// synchronous in-memory log (wal.New). The engine takes ownership:
 	// Engine.Close closes it.
 	WAL *wal.Log
+	// ReleasePolicy selects when Txn.Commit releases its locks relative to
+	// the durability barrier. The zero value is ReleaseEarlyTracked.
+	ReleasePolicy ReleasePolicy
 }
 
 // normalizeShards rounds n up to a power of two within
@@ -169,6 +248,13 @@ type managedObject struct {
 	rel   commute.Relation
 	kind  RecoveryKind
 	rec   *history.Recorder
+	// commitTicket (under mu) is the WAL stage ticket of the last
+	// committed writer's transaction-level commit record — the durability
+	// point an early-released commit publishes while releasing this
+	// object's locks. A later transaction touching the object inherits it
+	// as a dependency: its own barrier must not acknowledge before the
+	// WAL's durable watermark covers this ticket.
+	commitTicket wal.Ticket
 }
 
 // NewEngine builds an engine.
@@ -203,8 +289,11 @@ func (e *Engine) WAL() *wal.Log { return e.log }
 
 // Close shuts down the engine's write-ahead log: staged records are
 // sequenced and synced, the flusher (if asynchronous) is stopped, and the
-// durability backend is closed. Call it when the engine is quiescent; it
-// returns the first backend sync failure, if any.
+// durability backend is closed. It returns the first backend sync failure,
+// if any. Close is idempotent (a second call returns the same result) and
+// safe to race with in-flight Commit/Abort calls: a transaction that loses
+// the race observes a typed failure wrapping wal.ErrClosed instead of an
+// unspecified outcome, with its locks released.
 func (e *Engine) Close() error { return e.log.Close() }
 
 // shardOf returns the shard owning id.
@@ -310,6 +399,11 @@ type Txn struct {
 	// wroteWAL marks that some touched object stages records into the
 	// shared log, so Commit/Abort must flush the group-commit batch.
 	wroteWAL bool
+	// dep is the maximum commit ticket over every object this transaction
+	// touched: the durability point of its read-from set. The commit
+	// barrier waits for the WAL's durable watermark to cover it (see
+	// ReleaseEarlyTracked).
+	dep wal.Ticket
 }
 
 // Begin starts a transaction.
@@ -366,6 +460,13 @@ func (t *Txn) Invoke(obj history.ObjectID, inv spec.Invocation) (spec.Response, 
 			}
 			mo.table.Add(t.id, op)
 			t.touch(mo)
+			// Inherit the object's last committed writer as a durability
+			// dependency (checked on every operation, not just first
+			// touch: an unconflicting commit may advance the ticket
+			// between two of this transaction's operations).
+			if mo.commitTicket > t.dep {
+				t.dep = mo.commitTicket
+			}
 			// Record the completed operation under the latch so the global
 			// history preserves the object's true execution order.
 			// Invocations are recorded only when they complete, so failed
@@ -410,8 +511,12 @@ func (t *Txn) touch(mo *managedObject) {
 // releaseLocks releases every lock the transaction holds at every touched
 // object (waking waiters) and clears its wait edges in the deadlock
 // detector. It runs on every Commit/Abort exit path — success or error —
-// so no path can leak locks or leave stale waits-for edges behind.
-func (t *Txn) releaseLocks() {
+// so no path can leak locks or leave stale waits-for edges behind. A
+// non-zero commit ticket is published to each object while its latch is
+// held: a transaction that acquires the released locks afterwards reads
+// the ticket on its next operation and inherits this commit as a
+// durability dependency.
+func (t *Txn) releaseLocks(commit wal.Ticket) {
 	e := t.eng
 	for _, obj := range t.order {
 		mo, ok := e.lookup(obj)
@@ -419,6 +524,9 @@ func (t *Txn) releaseLocks() {
 			continue // vanished object: nothing left to release there
 		}
 		mo.mu.Lock()
+		if commit > mo.commitTicket {
+			mo.commitTicket = commit
+		}
 		mo.table.Release(t.id)
 		mo.cond.Broadcast()
 		mo.mu.Unlock()
@@ -426,13 +534,54 @@ func (t *Txn) releaseLocks() {
 	e.detector.ClearWaits(t.id)
 }
 
+// terminate abandons a commit that can no longer complete: every
+// participant whose store has not already committed is aborted in memory
+// (its effects undone per its recovery discipline, a terminal Abort event
+// recorded), every lock is released, wait edges are cleared, and any
+// staged compensation records are flushed. The phase-2a sweep commits
+// participants in objs order, so the first `committed` entries are the
+// ones whose store.Commit already ran — their effects are permanent and
+// they keep their terminal Commit event — and a mid-sweep failure leaves
+// every object with exactly one terminal history event instead of a
+// transaction frozen half-committed with its effects visible and no
+// terminal record. The transaction ends in the aborted state; cause is
+// returned unchanged.
+func (t *Txn) terminate(objs []history.ObjectID, committed int, cause error) error {
+	e := t.eng
+	t.state.Store(int32(aborted))
+	for i, obj := range objs {
+		mo, ok := e.lookup(obj)
+		if !ok {
+			continue // vanished object: nothing left to terminate there
+		}
+		mo.mu.Lock()
+		if i >= committed {
+			if err := mo.store.Abort(t.id); err == nil {
+				e.record(mo, history.Event{Kind: history.Abort, Obj: obj, Txn: t.id})
+			}
+			// A failed undo (e.g. a log closed mid-shutdown) still
+			// releases below; the cause already reports the failure.
+		}
+		mo.table.Release(t.id)
+		mo.cond.Broadcast()
+		mo.mu.Unlock()
+	}
+	e.detector.ClearWaits(t.id)
+	if t.wroteWAL {
+		e.log.Flush() // push compensation records; failures stay in Err
+	}
+	return cause
+}
+
 // Commit commits the transaction at every touched object using a two-phase
 // sweep: prepare (validate) all objects, then commit at each while still
-// holding its locks, stage the transaction-level commit record, and only
-// then release locks and wait for durability. With the single-process
-// engine the prepare phase cannot fail after successful operations, but
-// the structure mirrors the atomic-commitment protocols the paper's model
-// assumes.
+// holding its locks, stage the transaction-level commit record, and
+// release locks per the engine's ReleasePolicy — either before the
+// durability barrier with the commit ticket published to every touched
+// object (ReleaseEarlyTracked), or only after the backend acknowledges the
+// batch (ReleaseAfterAck). With the single-process engine the prepare
+// phase cannot fail after successful operations, but the structure mirrors
+// the atomic-commitment protocols the paper's model assumes.
 //
 // The wal.TxnCommitRec staged between the per-object sweep and the lock
 // release is the transaction's single durable commit point: restart is
@@ -443,62 +592,159 @@ func (t *Txn) releaseLocks() {
 // its own TxnCommitRec — strictly later, so a durable log prefix can never
 // contain a dependent winner without its predecessor.
 //
-// Commit is the group-commit point: the flush barrier after the lock
-// release batches this transaction's staged records — and those of every
-// concurrently committing transaction — into one contiguous LSN
-// assignment, returning only after the batch reaches the log's durability
-// backend. A backend failure is reported as ErrDurability: the transaction
-// is committed in memory (effects visible, locks released, counted in
-// Metrics.DurabilityFailures rather than Commits) but the durable log is
-// behind.
+// Commit is the group-commit point: the flush barrier batches this
+// transaction's staged records — and those of every concurrently
+// committing transaction — into one contiguous LSN assignment, returning
+// only after the batch reaches the log's durability backend; the barrier
+// additionally waits until the durable watermark covers the transaction's
+// dependency ticket (the commits it read from). A backend failure is
+// reported as ErrDurability. If the failure precedes this transaction's
+// in-memory commit point and its read-from set is unsynced, the
+// transaction is terminated through the abort path (the error also wraps
+// ErrAborted, counted in Metrics.DurabilityAborts); past that point it is
+// committed in memory with the durable log behind (counted in
+// Metrics.DurabilityFailures). Neither outcome is ever a clean
+// acknowledgement on top of an unsynced loser.
 func (t *Txn) Commit() error {
 	if !t.state.CompareAndSwap(int32(active), int32(committed)) {
 		return fmt.Errorf("txn %s: commit: %w", t.id, ErrNotActive)
 	}
 	e := t.eng
+	pol := e.opts.ReleasePolicy
+	start := time.Now()
+	hold := func() { e.Metrics.CommitHoldNS.Add(time.Since(start).Nanoseconds()) }
 	objs := t.sortedTouched()
-	// Phase 1: prepare — verify every participant is still registered.
+	// Phase 1: prepare — verify every participant is still registered. A
+	// failure here terminates cleanly: nothing has committed yet, so every
+	// participant is aborted and the transaction leaves no effects behind.
 	for _, obj := range objs {
 		if _, ok := e.lookup(obj); !ok {
-			t.releaseLocks()
-			return fmt.Errorf("txn %s: prepare: object %q vanished", t.id, obj)
+			hold()
+			return t.terminate(objs, 0,
+				fmt.Errorf("txn %s: prepare: object %q vanished", t.id, obj))
+		}
+	}
+	// Durability gate: a transaction whose read-from set is not yet
+	// durable is ordered behind it (DependencyStalls measures how often
+	// early release actually ran ahead of the log). If the backend has
+	// already failed, that dependency can never become durable —
+	// terminate through the abort path instead of committing in memory on
+	// top of an unsynced loser.
+	if pol != releaseEarlyUnsafe && t.dep > 0 && !e.log.IsDurable(t.dep) {
+		e.Metrics.DependencyStalls.Add(1)
+		if err := e.log.Err(); err != nil {
+			e.Metrics.DurabilityAborts.Add(1)
+			hold()
+			return t.terminate(objs, 0,
+				fmt.Errorf("txn %s: read from a commit the WAL backend never persisted: %w: %w: %w",
+					t.id, ErrDurability, ErrAborted, err))
 		}
 	}
 	// Phase 2a: commit at each object while holding its locks. The
 	// per-object CommitRec staged by an undo-log store here is a redo hint;
-	// the commit decision itself is the transaction-level record below.
+	// the commit decision itself is the transaction-level record below. A
+	// mid-sweep failure terminates: already-committed participants keep
+	// their terminal Commit event, the rest are aborted, and no
+	// transaction-level commit record is staged — restart sees a loser.
+	committed := 0
 	for _, obj := range objs {
 		mo, ok := e.lookup(obj)
 		if !ok {
-			t.releaseLocks()
-			return fmt.Errorf("txn %s: commit: object %q vanished", t.id, obj)
+			hold()
+			return t.terminate(objs, committed,
+				fmt.Errorf("txn %s: commit: object %q vanished", t.id, obj))
 		}
 		mo.mu.Lock()
 		if err := mo.store.Commit(t.id); err != nil {
 			mo.mu.Unlock()
-			t.releaseLocks()
-			return fmt.Errorf("txn %s: commit at %s: %w", t.id, obj, err)
+			hold()
+			return t.terminate(objs, committed,
+				fmt.Errorf("txn %s: commit at %s: %w", t.id, obj, err))
 		}
 		e.record(mo, history.Event{Kind: history.Commit, Obj: obj, Txn: t.id})
 		mo.mu.Unlock()
+		committed++
 	}
 	// The durable commit point, staged exactly once, after every object's
 	// commit processing and before any lock release.
+	var ticket wal.Ticket
 	if t.wroteWAL {
-		e.log.AppendAsync(wal.Record{Kind: wal.TxnCommitRec, Txn: t.id})
+		tk, err := e.log.AppendAsync(wal.Record{Kind: wal.TxnCommitRec, Txn: t.id})
+		if err != nil {
+			// The log closed under us (Commit racing Engine.Close): the
+			// transaction is committed in memory but its commit decision
+			// never reached the log.
+			t.releaseLocks(0)
+			hold()
+			e.Metrics.DurabilityFailures.Add(1)
+			return fmt.Errorf("txn %s: committed in memory but WAL closed: %w: %w",
+				t.id, ErrDurability, err)
+		}
+		ticket = tk
 	}
-	// Phase 2b: release locks and wake waiters.
-	t.releaseLocks()
-	if t.wroteWAL {
-		e.log.Flush()
+	// barrier makes the commit durable: flush the group-commit batch,
+	// surface any sticky backend failure, and wait until the durable
+	// watermark covers both this transaction's own commit record and its
+	// dependency ticket. With consistent-cut batches the dependency is
+	// sequenced no later than the transaction's own records, so the wait
+	// degenerates to a check — unless the backend failed, in which case it
+	// returns the sticky error instead of acknowledging.
+	barrier := func() error {
+		if !t.wroteWAL && t.dep == 0 {
+			return nil
+		}
+		if err := e.log.Flush(); err != nil {
+			return err
+		}
 		if err := e.log.Err(); err != nil {
-			// The transaction is committed in memory (locks are released,
-			// effects visible) but the durable log is behind: fail loudly
-			// rather than ack a commit the backend never persisted.
+			return err
+		}
+		dep := t.dep
+		if ticket > dep {
+			dep = ticket
+		}
+		return e.log.WaitDurable(dep)
+	}
+	if pol == ReleaseAfterAck {
+		// Hold every lock across the barrier: no other transaction can
+		// observe this commit's state before it is durable.
+		err := barrier()
+		t.releaseLocks(ticket)
+		hold()
+		if err != nil {
 			e.Metrics.DurabilityFailures.Add(1)
 			return fmt.Errorf("txn %s: committed in memory but WAL backend failed: %w: %w",
 				t.id, ErrDurability, err)
 		}
+		e.Metrics.Commits.Add(1)
+		return nil
+	}
+	// Phase 2b: release locks and wake waiters before the barrier (early
+	// release). The tracked policy publishes the commit ticket so
+	// dependents inherit this commit's durability point; the legacy unsafe
+	// policy publishes nothing — dependents commit blind.
+	if pol == releaseEarlyUnsafe {
+		t.releaseLocks(0)
+	} else {
+		t.releaseLocks(ticket)
+	}
+	hold()
+	var err error
+	if pol == releaseEarlyUnsafe {
+		if t.wroteWAL {
+			e.log.Flush()
+			err = e.log.Err()
+		}
+	} else {
+		err = barrier()
+	}
+	if err != nil {
+		// The transaction is committed in memory (locks are released,
+		// effects visible) but the durable log is behind: fail loudly
+		// rather than ack a commit the backend never persisted.
+		e.Metrics.DurabilityFailures.Add(1)
+		return fmt.Errorf("txn %s: committed in memory but WAL backend failed: %w: %w",
+			t.id, ErrDurability, err)
 	}
 	e.Metrics.Commits.Add(1)
 	return nil
@@ -506,7 +752,14 @@ func (t *Txn) Commit() error {
 
 // Abort aborts the transaction at every touched object, undoing its
 // effects per each object's recovery discipline, releasing its locks on
-// every exit path, then flushes the staged compensation records. As with
+// every exit path, then flushes the staged compensation records. The
+// sweep is best-effort: a failure at one object (vanished, or an undo the
+// store could not log — a log closed mid-shutdown) no longer abandons the
+// rest, every other participant is still undone and released before the
+// first error is returned. The failed participant itself keeps whatever
+// effects its store could not undo (its locks are released regardless);
+// the returned error reports it, and on the shutdown path the post-crash
+// restart — not the dying process — is what terminates it. As with
 // Commit, a WAL backend failure after a completed in-memory abort is
 // reported as ErrDurability and counted in Metrics.DurabilityFailures.
 func (t *Txn) Abort() error {
@@ -514,31 +767,40 @@ func (t *Txn) Abort() error {
 		return fmt.Errorf("txn %s: abort: %w", t.id, ErrNotActive)
 	}
 	e := t.eng
+	var firstErr error
 	for _, obj := range t.sortedTouched() {
 		mo, ok := e.lookup(obj)
 		if !ok {
-			t.releaseLocks()
-			return fmt.Errorf("txn %s: abort: object %q vanished", t.id, obj)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("txn %s: abort: object %q vanished", t.id, obj)
+			}
+			continue
 		}
 		mo.mu.Lock()
 		if err := mo.store.Abort(t.id); err != nil {
-			mo.mu.Unlock()
-			t.releaseLocks()
-			return fmt.Errorf("txn %s: abort at %s: %w", t.id, obj, err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("txn %s: abort at %s: %w", t.id, obj, err)
+			}
+		} else {
+			e.record(mo, history.Event{Kind: history.Abort, Obj: obj, Txn: t.id})
 		}
 		mo.table.Release(t.id)
-		e.record(mo, history.Event{Kind: history.Abort, Obj: obj, Txn: t.id})
 		mo.cond.Broadcast()
 		mo.mu.Unlock()
 	}
 	e.detector.ClearWaits(t.id)
 	if t.wroteWAL {
 		e.log.Flush()
-		if err := e.log.Err(); err != nil {
-			e.Metrics.DurabilityFailures.Add(1)
-			return fmt.Errorf("txn %s: aborted in memory but WAL backend failed: %w: %w",
-				t.id, ErrDurability, err)
+		if firstErr == nil {
+			if err := e.log.Err(); err != nil {
+				e.Metrics.DurabilityFailures.Add(1)
+				return fmt.Errorf("txn %s: aborted in memory but WAL backend failed: %w: %w",
+					t.id, ErrDurability, err)
+			}
 		}
+	}
+	if firstErr != nil {
+		return firstErr
 	}
 	e.Metrics.Aborts.Add(1)
 	return nil

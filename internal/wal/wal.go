@@ -41,6 +41,15 @@
 // only after the backend's Sync returns, so an acked commit is durable to
 // whatever degree the backend provides.
 //
+// The log also exposes its durability frontier: AppendAsync returns a
+// stage Ticket, the durable watermark (DurableLSN, IsDurable) tracks the
+// last backend-acknowledged batch, and WaitDurable blocks a caller until
+// the watermark covers a ticket — the seam commit-LSN-ordered lock
+// release is built on (a dependent transaction waits for the durability
+// of the commits it read from, not just its own records). Close is
+// idempotent and publishes a typed ErrClosed to appenders and barriers
+// that lose the shutdown race.
+//
 // The paper deliberately abstracts recovery to the View function; this
 // package is the executable substrate beneath the UIP abstraction — what
 // System R-style recovery managers actually maintain. The log supports
@@ -50,6 +59,7 @@
 package wal
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -64,6 +74,23 @@ import (
 
 // LSN is a log sequence number. LSNs start at 1; 0 is the nil LSN.
 type LSN uint64
+
+// ErrClosed is wrapped by AppendAsync, Flush, and WaitDurable when the log
+// has been closed: the record was not staged (or the barrier cannot be
+// satisfied) because Close already drained the final batch. A commit racing
+// Engine.Close observes this typed error instead of an unspecified race
+// outcome.
+var ErrClosed = errors.New("wal: log closed")
+
+// Ticket identifies a staged record's position in the global stage order
+// (the stamp the sequencer sorts by). Tickets are totally ordered and
+// consistent with LSN order: because every flush batch is a consistent cut
+// of the staging buffers, the durable prefix of the log is exactly a ticket
+// prefix. A ticket therefore names a durability point before the record's
+// LSN exists — the handle early lock release needs to publish "the commit
+// you just read from" to dependents (see DurableTicket and WaitDurable).
+// The zero Ticket precedes every record and is always durable.
+type Ticket int64
 
 // RecordKind distinguishes log record types.
 type RecordKind int
@@ -193,6 +220,18 @@ type Log struct {
 	lastOf  map[history.TxnID]LSN
 	syncErr error // first backend failure, under mu
 
+	// The durable watermark (under mu): the stage ticket and LSN of the
+	// last record the backend acknowledged. Because batches are consistent
+	// cuts sequenced in order, everything at or below the watermark is
+	// durable. The watermark freezes when the backend dies or the log is
+	// closed with records still staged; under a simulated crash it keeps
+	// advancing (acknowledgements continue — the machine has not noticed it
+	// is dead). durableCond is broadcast whenever the watermark or the
+	// error state moves, waking WaitDurable barriers.
+	durableTicket int64
+	durableLSN    LSN
+	durableCond   *sync.Cond
+
 	backend Backend
 	crash   CrashPoint
 	crashed bool // under flushMu
@@ -202,6 +241,13 @@ type Log struct {
 	// stopping leaves a durable prefix Restart can still recover. The
 	// failure itself stays sticky in syncErr.
 	dead bool
+	// closing is set at the start of Close, before the final drain; stage
+	// checks it under the stripe lock, so a record either lands in the
+	// final batch or its AppendAsync reports ErrClosed — never a silent
+	// drop. backendGone (under flushMu) marks the backend closed, so a
+	// straggler flush sequences in memory without touching it.
+	closing     atomic.Bool
+	backendGone bool
 
 	// Asynchronous-mode state. pending counts staged-but-unsequenced
 	// records for the MaxBatch trigger; wake and full nudge the flusher;
@@ -258,6 +304,7 @@ func Open(cfg Config) (*Log, error) {
 		backend: cfg.Backend,
 		crash:   cfg.CrashPoint,
 	}
+	l.durableCond = sync.NewCond(&l.mu)
 	for i := range l.stripes {
 		l.stripes[i] = &stripe{}
 	}
@@ -273,6 +320,9 @@ func Open(cfg Config) (*Log, error) {
 			l.records = append(l.records, r)
 			l.lastOf[r.Txn] = r.LSN
 		}
+		// Replayed records came from the durable file; the watermark starts
+		// past them.
+		l.durableLSN = LSN(len(l.records))
 	}
 	if cfg.Async {
 		l.async = true
@@ -289,12 +339,14 @@ func Open(cfg Config) (*Log, error) {
 
 // Close stops the flusher (sequencing and syncing whatever is staged) and
 // closes the backend. It returns the first backend sync error, if any.
-// Close is idempotent. The log must be quiescent: a Flush racing Close may
-// find the backend already closed, in which case its records stay
-// in-memory only and the failure is surfaced by Err and the next
-// Flush-checking caller, not by Close.
+// Close is idempotent and safe to race with appenders and flushers: closing
+// is published before the final drain, so a concurrent AppendAsync either
+// lands in the final durable batch or returns ErrClosed, a concurrent Flush
+// returns ErrClosed, and a WaitDurable barrier that can no longer be
+// satisfied is woken with ErrClosed.
 func (l *Log) Close() error {
 	l.closeOnce.Do(func() {
+		l.closing.Store(true)
 		if l.async {
 			close(l.quit)
 			<-l.flusherDone
@@ -302,8 +354,14 @@ func (l *Log) Close() error {
 		// Drain anything staged after the flusher's final pass (or
 		// everything, in synchronous mode) before reading the error state.
 		l.flushOnce()
+		l.flushMu.Lock()
+		l.backendGone = true
+		l.flushMu.Unlock()
 		l.mu.Lock()
 		l.closeErr = l.syncErr
+		// Wake any durability barrier that is still waiting: the watermark
+		// will never advance again.
+		l.durableCond.Broadcast()
 		l.mu.Unlock()
 		if l.backend != nil {
 			if err := l.backend.Close(); l.closeErr == nil {
@@ -332,10 +390,18 @@ func (l *Log) stripeOf(txn history.TxnID) *stripe {
 // an object latch get stamps in the object's execution order. In
 // asynchronous mode staging also nudges the flusher, so records are
 // eventually sequenced and made durable even if no committer ever flushes.
-func (l *Log) stage(r Record) *stagedRec {
+// The closing check happens under the stripe lock too: Close's final drain
+// holds every stripe lock after publishing the flag, so a record either
+// joins the final batch or is rejected with ErrClosed — never staged and
+// silently lost.
+func (l *Log) stage(r Record) (*stagedRec, error) {
 	s := &stagedRec{rec: r}
 	st := l.stripeOf(r.Txn)
 	st.mu.Lock()
+	if l.closing.Load() {
+		st.mu.Unlock()
+		return nil, fmt.Errorf("wal: append %s for %s: %w", r.Kind, r.Txn, ErrClosed)
+	}
 	s.stamp = l.stampSeq.Add(1)
 	st.staged = append(st.staged, s)
 	st.mu.Unlock()
@@ -351,25 +417,40 @@ func (l *Log) stage(r Record) *stagedRec {
 		default:
 		}
 	}
-	return s
+	return s, nil
 }
 
-// AppendAsync stages a record without waiting for its LSN. The record is
-// sequenced by the next flush (a committing transaction's group-commit
-// barrier, any reader, or the background flusher). This is the engine's hot
-// path: no log-wide lock.
-func (l *Log) AppendAsync(r Record) {
-	l.stage(r)
+// AppendAsync stages a record without waiting for its LSN and returns the
+// record's stage ticket. The record is sequenced by the next flush (a
+// committing transaction's group-commit barrier, any reader, or the
+// background flusher). This is the engine's hot path: no log-wide lock.
+// On a closed log nothing is staged and the error wraps ErrClosed.
+func (l *Log) AppendAsync(r Record) (Ticket, error) {
+	s, err := l.stage(r)
+	if err != nil {
+		return 0, err
+	}
+	return Ticket(s.stamp), nil
 }
 
 // Append stages a record, flushes, and returns the assigned LSN — the
 // synchronous path, equivalent to a group commit of whatever is staged.
 // The LSN read is safe even when a different goroutine's flusher sequenced
 // the record: Flush only returns after an acknowledgement that
-// happens-after the assignment (see stagedRec).
+// happens-after the assignment (see stagedRec). On a closed log nothing is
+// staged and the nil LSN is returned.
 func (l *Log) Append(r Record) LSN {
-	s := l.stage(r)
-	l.Flush()
+	s, err := l.stage(r)
+	if err != nil {
+		return 0
+	}
+	if err := l.Flush(); err != nil {
+		// The log closed between stage and Flush. The record is (or will
+		// be) sequenced by Close's drain; join the sequencer directly so
+		// the read of s.lsn below is ordered after its assignment rather
+		// than racing it.
+		l.flushOnce()
+	}
 	return s.lsn
 }
 
@@ -382,11 +463,16 @@ func (l *Log) Append(r Record) LSN {
 // committed transaction is durable when Flush returns. A failed backend
 // sync does not block the ack (the in-memory log stays usable); it is
 // recorded and exposed by Err, which durability-requiring callers must
-// check after Flush (txn.Commit does).
-func (l *Log) Flush() {
+// check after Flush (txn.Commit does). Flush on a closed log returns an
+// error wrapping ErrClosed; everything staged before Close was already
+// drained by Close itself.
+func (l *Log) Flush() error {
+	if l.closing.Load() {
+		return fmt.Errorf("wal: flush: %w", ErrClosed)
+	}
 	if !l.async {
 		l.flushOnce()
-		return
+		return nil
 	}
 	w := make(chan struct{})
 	l.waitMu.Lock()
@@ -400,9 +486,12 @@ func (l *Log) Flush() {
 	case <-w:
 	case <-l.flusherDone:
 		// The flusher exited (Close raced with this barrier); sequence
-		// directly. flushOnce acks every registered waiter exactly once.
+		// directly. flushOnce acks every registered waiter exactly once,
+		// and skips the backend if Close already released it (any records
+		// sequenced that late surface as an ErrClosed-wrapped Err).
 		l.flushOnce()
 	}
+	return nil
 }
 
 // flusher is the dedicated sequencing goroutine of an asynchronous log.
@@ -503,16 +592,38 @@ func (l *Log) flushOnce() {
 		if !l.crashed && l.crash != nil && l.crash(int(l.flushes.Load()), recs) {
 			l.crashed = true
 		}
-		if !l.crashed && !l.dead && l.backend != nil {
+		// Decide the batch's durability outcome and move the watermark (or
+		// the sticky error) under mu, then wake durability barriers. A
+		// simulated crash keeps advancing the watermark — the contract of
+		// CrashPoint is that the dying machine's acknowledgements continue.
+		var syncFailed error
+		lost := false
+		switch {
+		case l.backendGone:
+			lost = true // sequenced after Close released the backend
+		case l.crashed:
+		case l.dead:
+			lost = true // frozen since the first sync failure
+		case l.backend != nil:
 			if err := l.backend.Sync(recs); err != nil {
 				l.dead = true
-				l.mu.Lock()
-				if l.syncErr == nil {
-					l.syncErr = err
-				}
-				l.mu.Unlock()
+				syncFailed = err
 			}
 		}
+		l.mu.Lock()
+		if syncFailed != nil && l.syncErr == nil {
+			l.syncErr = syncFailed
+		}
+		if l.backendGone && l.syncErr == nil {
+			l.syncErr = fmt.Errorf("wal: %d records sequenced after close never reached the backend: %w",
+				len(batch), ErrClosed)
+		}
+		if !lost && syncFailed == nil {
+			l.durableTicket = batch[len(batch)-1].stamp
+			l.durableLSN = batch[len(batch)-1].rec.LSN
+		}
+		l.durableCond.Broadcast()
+		l.mu.Unlock()
 		l.flushes.Add(1)
 		l.flushed.Add(int64(len(batch)))
 	}
@@ -520,6 +631,59 @@ func (l *Log) flushOnce() {
 	for _, w := range ws {
 		close(w)
 	}
+}
+
+// DurableLSN returns the durable watermark: every record at or below this
+// LSN has been acknowledged by the backend (everything, for a log without
+// one). The in-memory log may be ahead of it after a sync failure — see
+// Err.
+func (l *Log) DurableLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.durableLSN
+}
+
+// IsDurable reports whether the record behind ticket t has reached the
+// durability backend. The zero ticket is always durable.
+func (l *Log) IsDurable(t Ticket) bool {
+	if t <= 0 {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Ticket(l.durableTicket) >= t
+}
+
+// WaitDurable blocks until the record behind ticket t is durable, the
+// backend has failed (returning the sticky sync error — the watermark will
+// never cover t), or the log is closed (returning an ErrClosed-wrapped
+// error). It is the dependency barrier of commit-LSN-ordered lock release:
+// a transaction that read from an early-released commit passes that
+// commit's ticket here and is acknowledged only once its read-from set is
+// durable. In synchronous mode the caller must have flushed first (nothing
+// else sequences); in asynchronous mode the flusher is nudged.
+func (l *Log) WaitDurable(t Ticket) error {
+	if t <= 0 {
+		return nil
+	}
+	if l.async {
+		select {
+		case l.wake <- struct{}{}:
+		default:
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for Ticket(l.durableTicket) < t {
+		if l.syncErr != nil {
+			return l.syncErr
+		}
+		if l.closing.Load() {
+			return fmt.Errorf("wal: wait durable: %w", ErrClosed)
+		}
+		l.durableCond.Wait()
+	}
+	return nil
 }
 
 // Flushes returns the number of non-empty flush batches sequenced so far.

@@ -122,8 +122,8 @@ func TestFlushBatchIsConsistentCut(t *testing.T) {
 	var pairs []pair
 	for i := 0; i < 400; i++ {
 		// Distinct txn IDs so the two records of a pair spread over stripes.
-		a := l.stage(Record{Kind: Update, Txn: history.TxnID(fmt.Sprintf("A%03d", i)), Obj: "X", Op: adt.DepositOk(1)})
-		b := l.stage(Record{Kind: TxnCommitRec, Txn: history.TxnID(fmt.Sprintf("B%03d", i))})
+		a, _ := l.stage(Record{Kind: Update, Txn: history.TxnID(fmt.Sprintf("A%03d", i)), Obj: "X", Op: adt.DepositOk(1)})
+		b, _ := l.stage(Record{Kind: TxnCommitRec, Txn: history.TxnID(fmt.Sprintf("B%03d", i))})
 		pairs = append(pairs, pair{a, b})
 	}
 	close(stop)
