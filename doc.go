@@ -47,11 +47,27 @@
 // contain. Either way, no acknowledged commit ever reads from an unsynced
 // loser.
 //
+// Restart cost is bounded by fuzzy checkpointing (internal/checkpoint,
+// txn.Engine.Checkpoint): a checkpointer walks the striped registry shard
+// by shard without stopping the world, capturing each undo-log object's
+// state and in-flight transaction table under its latch and stamping the
+// capture with a wal.CheckpointRec marker whose LSN splits that object's
+// records into captured-versus-replayable; the snapshot is saved (write-
+// temp-then-rename, torn checkpoints ignored on reopen) only after the
+// durable watermark covers its last marker, and the log is then truncated
+// before the checkpoint frontier (wal.TruncateBefore, clamped to the
+// watermark). recovery.RestartAllWithCheckpoint seeds object state from
+// the newest snapshot and replays only the bounded suffix — the
+// restart-time-versus-log-length trade-off E17 measures, proven correct by
+// crash injection at every boundary including mid-checkpoint crashes.
+//
 // The benchmarks in bench_test.go regenerate every table and figure of the
 // paper plus the engine scaling sweep (shards × GOMAXPROCS × operation
 // mix, including a read-mostly variant), the group-commit flush sweep
-// (flusher dwell × sync latency), and the lock-release-policy sweep
-// (policy × sync latency × contention skew); `ccbench -experiment
-// scaling,flush,release -json` writes them to BENCH_engine.json. See
-// EXPERIMENTS.md for the methodology and the 1-vCPU measurement caveats.
+// (flusher dwell × sync latency), the lock-release-policy sweep
+// (policy × sync latency × contention skew), and the checkpointed-restart
+// sweep (restart cost × log length); `ccbench -experiment
+// scaling,flush,release,checkpoint -json` writes them to
+// BENCH_engine.json. See EXPERIMENTS.md for the methodology and the
+// 1-vCPU measurement caveats.
 package repro

@@ -280,6 +280,15 @@ func (m baMachine) Apply(v Value, inv spec.Invocation) (spec.Response, Value, er
 	return "", nil, fmt.Errorf("adt: bank-account: unknown invocation %s", inv)
 }
 
+// DecodeValue implements ValueCodec: a bank-account state is its balance.
+func (baMachine) DecodeValue(s string) (Value, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return nil, fmt.Errorf("adt: bank-account: bad encoded state %q: %w", s, err)
+	}
+	return BAValue(n), nil
+}
+
 func (m baMachine) Undo(v Value, op spec.Operation) (Value, error) {
 	bal, ok := v.(BAValue)
 	if !ok {

@@ -187,6 +187,16 @@ func (kvMachine) Apply(v Value, inv spec.Invocation) (spec.Response, Value, erro
 	return "", nil, fmt.Errorf("adt: kv-store: unknown invocation %s", inv)
 }
 
+// DecodeValue implements ValueCodec: the canonical sorted key=value
+// encoding round-trips through decodeKV.
+func (kvMachine) DecodeValue(s string) (Value, error) {
+	m, err := decodeKV(s)
+	if err != nil {
+		return nil, fmt.Errorf("adt: kv-store: bad encoded state %q: %w", s, err)
+	}
+	return KVValue(m), nil
+}
+
 // Undo for a KV store is not purely logical: undoing a put requires the
 // overwritten value. The recovery managers therefore record the
 // before-value in the operation's undo record via PutUndo. For the plain

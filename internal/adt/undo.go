@@ -29,3 +29,16 @@ type UndoTokenCodec interface {
 	// DecodeUndoToken parses a string produced by EncodeUndoToken.
 	DecodeUndoToken(s string) (any, error)
 }
+
+// ValueCodec is implemented by machines whose states can be reconstructed
+// from their canonical Value.Encode form. Fuzzy checkpointing requires it:
+// a checkpoint stores each captured object's state as its encoding, and a
+// checkpoint-seeded restart decodes it back into the value the log suffix
+// is then replayed against. Machines without a ValueCodec cannot be
+// checkpointed (the engine reports an error rather than silently leaving
+// the object out of an otherwise-truncatable checkpoint).
+type ValueCodec interface {
+	// DecodeValue parses a string produced by Value.Encode into a state
+	// of this machine.
+	DecodeValue(s string) (Value, error)
+}

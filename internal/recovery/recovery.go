@@ -23,8 +23,10 @@ package recovery
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/adt"
+	"repro/internal/checkpoint"
 	"repro/internal/history"
 	"repro/internal/spec"
 	"repro/internal/wal"
@@ -195,6 +197,51 @@ func (u *UndoLog) Abort(txn history.TxnID) error {
 // active; with active updaters the current state includes their effects
 // (that is what update-in-place means).
 func (u *UndoLog) CommittedValue() adt.Value { return u.current.Clone() }
+
+// Capture renders the store's fuzzy-checkpoint capture: the current
+// update-in-place state (dirty — in-flight effects included, which is the
+// state the log suffix will be response-checked against at restart) plus
+// the in-flight transaction table, each active transaction's pending undo
+// records in apply order with tokens in durable encoded form. The caller
+// (the engine's checkpointer) holds the object latch, so the capture is a
+// consistent instant of the object's execution. Capture fails if the
+// machine cannot round-trip its state (no adt.ValueCodec) or an undo token
+// has no codec — a checkpoint that cannot be restored must not be taken.
+func (u *UndoLog) Capture() (string, []checkpoint.ActiveTxn, error) {
+	if _, ok := u.machine.(adt.ValueCodec); !ok {
+		return "", nil, fmt.Errorf("recovery: machine %s has no value codec; %s cannot be checkpointed",
+			u.machine.Name(), u.obj)
+	}
+	state := u.current.Encode()
+	ids := make([]history.TxnID, 0, len(u.chain))
+	for t := range u.chain {
+		ids = append(ids, t)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var active []checkpoint.ActiveTxn
+	for _, t := range ids {
+		recs := u.chain[t]
+		ops := make([]checkpoint.PendingOp, len(recs))
+		for i, r := range recs {
+			ops[i] = checkpoint.PendingOp{Op: r.op}
+			if r.before != nil {
+				c, ok := u.machine.(adt.UndoTokenCodec)
+				if !ok {
+					return "", nil, fmt.Errorf("recovery: machine %s has no undo token codec; %s cannot be checkpointed",
+						u.machine.Name(), u.obj)
+				}
+				s, err := c.EncodeUndoToken(r.before)
+				if err != nil {
+					return "", nil, fmt.Errorf("recovery: encoding undo token of %s for checkpoint: %w", r.op, err)
+				}
+				ops[i].Undo = s
+				ops[i].HasUndo = true
+			}
+		}
+		active = append(active, checkpoint.ActiveTxn{Txn: t, Ops: ops})
+	}
+	return state, active, nil
+}
 
 // Stats returns a copy of the work counters.
 func (u *UndoLog) Stats() Stats { return u.stats }

@@ -4,9 +4,34 @@ import (
 	"fmt"
 
 	"repro/internal/adt"
+	"repro/internal/checkpoint"
 	"repro/internal/history"
 	"repro/internal/wal"
 )
+
+// RestartStats counts the work one restart performed — the dependent
+// variable of the restart-time-versus-log-length experiment (E17).
+// Without a checkpoint, Replayed grows with the whole log; with one, it is
+// bounded by the suffix past the checkpoint frontier.
+type RestartStats struct {
+	// LogRecords is the number of records in the scanned (retained) log —
+	// what pass 1's winner scan walks.
+	LogRecords int
+	// Replayed counts the per-object records pass 2 processed (updates
+	// redone, compensations re-applied, commit/abort records consumed).
+	Replayed int
+	// Skipped counts per-object records pass 2 skipped because the
+	// checkpoint's capture already reflects them (LSN at or below the
+	// object's marker).
+	Skipped int
+	// SeededObjects and SeededTxns count checkpoint seeding: objects whose
+	// state came from the snapshot, and in-flight transactions whose undo
+	// tables were reconstructed from it.
+	SeededObjects int
+	SeededTxns    int
+	// Undone counts loser updates rolled back by the undo phase.
+	Undone int
+}
 
 // Winners scans log records for transaction-level commit records and
 // returns the set of transactions that durably committed. This is pass 1
@@ -60,9 +85,16 @@ func Winners(recs []wal.Record) map[history.TxnID]bool {
 // objects at once.
 //
 // The returned store owns the same log and is ready for new transactions.
+// A truncated log (checkpointing ran) cannot be restarted without its
+// snapshot — use RestartAllWithCheckpoint.
 func Restart(obj history.ObjectID, m adt.Machine, log *wal.Log) (*UndoLog, error) {
+	if base := log.Base(); base > 0 {
+		return nil, fmt.Errorf("recovery: restart %s: log truncated to base %d but no checkpoint snapshot supplied",
+			obj, base)
+	}
 	snap := log.Snapshot()
-	return restartWith(obj, m, log, snap, Winners(snap))
+	var stats RestartStats
+	return restartWith(obj, m, log, snap, Winners(snap), nil, &stats)
 }
 
 // RestartAll restarts every listed object of one shared log, scanning the
@@ -77,23 +109,67 @@ func Restart(obj history.ObjectID, m adt.Machine, log *wal.Log) (*UndoLog, error
 // stays exact.
 func RestartAll(objs []history.ObjectID, machineFor func(history.ObjectID) adt.Machine,
 	log *wal.Log) (map[history.ObjectID]*UndoLog, error) {
+	out, _, err := RestartAllWithCheckpoint(objs, machineFor, log, nil)
+	return out, err
+}
+
+// RestartAllWithCheckpoint is RestartAll seeded from a fuzzy checkpoint:
+// each object covered by the snapshot starts from its captured state with
+// its in-flight transaction table reconstructed, and pass 2 replays only
+// the records past that object's marker — the bounded-suffix restart the
+// checkpoint exists for. Objects the snapshot does not cover (registered
+// after the checkpoint's shard walk) replay in full from the retained log.
+// A nil snapshot is a plain full-log restart. The winner scan (pass 1)
+// runs over the retained log, which by the checkpoint contract contains
+// every decision record restart can need: any transaction pending at a
+// capture, or starting after one, stages its transaction-level commit
+// record past the checkpoint frontier, and any transaction wholly decided
+// before the frontier is already folded into the captured states.
+//
+// The returned stats separate bounded work (Replayed) from skipped prefix
+// records and report the seeding volume — the measured quantities of E17.
+func RestartAllWithCheckpoint(objs []history.ObjectID, machineFor func(history.ObjectID) adt.Machine,
+	log *wal.Log, ckpt *checkpoint.Snapshot) (map[history.ObjectID]*UndoLog, RestartStats, error) {
+	var stats RestartStats
+	if ckpt == nil && log.Base() > 0 {
+		// A truncated log is only replayable from the checkpoint that
+		// justified the truncation. Replaying the bare suffix from initial
+		// state would often pass the response checks (deltas reproduce
+		// against many wrong states) and return silently wrong values, so
+		// a missing snapshot is an error, not a degraded restart.
+		return nil, stats, fmt.Errorf("recovery: log truncated to base %d but no checkpoint snapshot supplied",
+			log.Base())
+	}
+	if ckpt != nil && log.Base() >= ckpt.Frontier {
+		return nil, stats, fmt.Errorf("recovery: log truncated to base %d past checkpoint %s frontier %d",
+			log.Base(), ckpt.ID, ckpt.Frontier)
+	}
 	snap := log.Snapshot()
+	stats.LogRecords = len(snap)
 	winners := Winners(snap)
+	seeds := make(map[history.ObjectID]*checkpoint.ObjectSnapshot)
+	if ckpt != nil {
+		for i := range ckpt.Objects {
+			seeds[ckpt.Objects[i].Obj] = &ckpt.Objects[i]
+		}
+	}
 	out := make(map[history.ObjectID]*UndoLog, len(objs))
 	for _, obj := range objs {
-		st, err := restartWith(obj, machineFor(obj), log, snap, winners)
+		st, err := restartWith(obj, machineFor(obj), log, snap, winners, seeds[obj], &stats)
 		if err != nil {
-			return nil, fmt.Errorf("recovery: restart %s: %w", obj, err)
+			return nil, stats, fmt.Errorf("recovery: restart %s: %w", obj, err)
 		}
 		out[obj] = st
 	}
-	return out, nil
+	return out, stats, nil
 }
 
 // restartWith is pass 2 of Restart against a pre-scanned log snapshot and
-// winner set (so multi-object callers can share pass 1).
+// winner set (so multi-object callers can share pass 1), optionally seeded
+// from one object's checkpoint capture.
 func restartWith(obj history.ObjectID, m adt.Machine, log *wal.Log,
-	snap []wal.Record, winners map[history.TxnID]bool) (*UndoLog, error) {
+	snap []wal.Record, winners map[history.TxnID]bool,
+	seed *checkpoint.ObjectSnapshot, stats *RestartStats) (*UndoLog, error) {
 	type txnInfo struct {
 		aborted bool
 		// pending holds applied-but-not-compensated update records, in
@@ -113,6 +189,48 @@ func restartWith(obj history.ObjectID, m adt.Machine, log *wal.Log,
 	state := m.Init()
 	bi, hasBI := m.(adt.BeforeImageUndoer)
 
+	// Checkpoint seeding: start from the captured (dirty) state and rebuild
+	// the in-flight transaction table exactly as it stood at the object's
+	// marker. The suffix replay below then continues the same execution the
+	// live object performed, and the undo phase can roll back in-table
+	// losers even if their only records lie in the truncated prefix.
+	var markerLSN wal.LSN
+	if seed != nil {
+		vc, ok := m.(adt.ValueCodec)
+		if !ok {
+			return nil, fmt.Errorf("recovery: restart %s: machine %s has no value codec for checkpoint state",
+				obj, m.Name())
+		}
+		v, err := vc.DecodeValue(seed.State)
+		if err != nil {
+			return nil, fmt.Errorf("recovery: restart %s: checkpoint state: %w", obj, err)
+		}
+		state = v
+		markerLSN = seed.MarkerLSN
+		stats.SeededObjects++
+		for _, at := range seed.Active {
+			ti := get(at.Txn)
+			stats.SeededTxns++
+			for _, po := range at.Ops {
+				var before any
+				if po.HasUndo {
+					c, ok := m.(adt.UndoTokenCodec)
+					if !ok {
+						return nil, fmt.Errorf("recovery: restart %s: machine %s has no undo token codec",
+							obj, m.Name())
+					}
+					dec, err := c.DecodeUndoToken(po.Undo)
+					if err != nil {
+						return nil, fmt.Errorf("recovery: restart %s: checkpoint undo token of %s: %w",
+							obj, at.Txn, err)
+					}
+					before = dec
+				}
+				ti.pending = append(ti.pending, undoRec{op: po.Op, before: before})
+			}
+		}
+	}
+
 	undoOne := func(r undoRec) error {
 		var next adt.Value
 		var err error
@@ -128,11 +246,25 @@ func restartWith(obj history.ObjectID, m adt.Machine, log *wal.Log,
 		return nil
 	}
 
-	// Pass 2, redo: replay obj's history from the log.
+	// Pass 2, redo: replay obj's history from the log — all of it on a
+	// plain restart, only the suffix past the object's capture marker on a
+	// checkpointed one (the captured state already reflects the prefix).
 	for _, rec := range snap {
 		if rec.Obj != obj {
 			continue
 		}
+		if rec.LSN <= markerLSN {
+			stats.Skipped++
+			continue
+		}
+		if rec.Kind == wal.CheckpointRec {
+			// A capture marker — this checkpoint's own (LSN == markerLSN,
+			// already skipped above, unless the log was not truncated), an
+			// older checkpoint's, or a newer incomplete one's. Markers carry
+			// no state.
+			continue
+		}
+		stats.Replayed++
 		ti := get(rec.Txn)
 		switch rec.Kind {
 		case wal.Update:
@@ -211,6 +343,7 @@ func restartWith(obj history.ObjectID, m adt.Machine, log *wal.Log,
 			if err := undoOne(r); err != nil {
 				return nil, fmt.Errorf("recovery: restart undo of loser %s: %w", t, err)
 			}
+			stats.Undone++
 			log.Append(wal.Record{Kind: wal.CompensationRec, Txn: t, Obj: obj, Op: r.op})
 		}
 		log.Append(wal.Record{Kind: wal.AbortRec, Txn: t, Obj: obj})

@@ -26,12 +26,16 @@ import (
 // transferCrashConfig pins the workload to the banking-machine parameters
 // the shared restart helpers use (initial balance crashInitialBalance,
 // amounts 1..3), so crashMachine() is exactly the machine that produced
-// the durable log.
+// the durable log. Transfers fan out over three participants: the commit
+// sweep spans three objects, so crash boundaries can separate any pair of
+// legs, any pair of per-object commit records, or the last of them from
+// the transaction-level commit record.
 func transferCrashConfig(seed int64) sim.TransferConfig {
 	cfg := sim.DefaultTransferConfig()
 	cfg.InitialBalance = crashInitialBalance
 	cfg.MaxAmount = 3
 	cfg.TxnsPerWorker = 12
+	cfg.Participants = 3
 	cfg.Seed = seed
 	cfg.Record = true
 	return cfg

@@ -1,0 +1,227 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"repro/internal/adt"
+	"repro/internal/checkpoint"
+	"repro/internal/history"
+	"repro/internal/recovery"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// CheckpointConfig parameterizes the restart-time-versus-log-length
+// experiment (E17): the fan-out transfer workload runs on a real
+// file-backed WAL for increasing run lengths, once with checkpointing off
+// and once with fuzzy checkpoints taken between workload rounds (with log
+// truncation), and each run is then crash-restarted from its durable
+// artifacts. With checkpointing off, restart replays the whole log — cost
+// linear in run length; with it on, restart seeds from the newest snapshot
+// and replays only the suffix past the checkpoint frontier — cost bounded
+// by the work since the last checkpoint, which is the entire point of the
+// subsystem.
+type CheckpointConfig struct {
+	TransferConfig
+	// EveryTxns is the checkpoint cadence: in checkpointing mode the run
+	// proceeds in rounds of this many transactions per worker, with one
+	// checkpoint after every round except the last (so the log always
+	// carries a live suffix to replay). A fixed cadence — rather than a
+	// fixed fraction of the run — is what makes the bounded-replay claim
+	// visible: the replayable suffix stays near one cadence interval no
+	// matter how long the run grows.
+	EveryTxns int
+	// Lengths are the TxnsPerWorker values swept — the log-length axis.
+	Lengths []int
+}
+
+// DefaultCheckpointConfig sweeps run lengths of the three-participant
+// transfer workload, checkpointing every 25 transactions per worker.
+func DefaultCheckpointConfig() CheckpointConfig {
+	cfg := CheckpointConfig{
+		TransferConfig: DefaultTransferConfig(),
+		EveryTxns:      25,
+		Lengths:        []int{50, 100, 200, 400},
+	}
+	cfg.Participants = 3
+	cfg.AbortPct = 10
+	return cfg
+}
+
+// CheckpointPoint is one measured point of the sweep.
+type CheckpointPoint struct {
+	Mode          string `json:"mode"` // "off" or "on"
+	TxnsPerWorker int    `json:"txns_per_worker"`
+	Commits       int64  `json:"commits"`
+	Checkpoints   int64  `json:"checkpoints"`
+	// LogRecords / LogBytes describe the retained durable log at shutdown;
+	// TruncatedRecords counts what checkpointing reclaimed (off-mode: 0,
+	// so LogRecords is the full history).
+	LogRecords       int   `json:"log_records"`
+	LogBytes         int64 `json:"log_bytes"`
+	TruncatedRecords int64 `json:"truncated_records"`
+	// ReplayedRecords / SkippedRecords / UndoneRecords are the restart's
+	// pass-2 work (recovery.RestartStats); RestartUS is the wall-clock
+	// cost of reopening the file, loading the snapshot, and restarting
+	// every account.
+	ReplayedRecords int     `json:"replayed_records"`
+	SkippedRecords  int     `json:"skipped_records"`
+	UndoneRecords   int     `json:"undone_records"`
+	SeededObjects   int     `json:"seeded_objects"`
+	RestartUS       float64 `json:"restart_us"`
+	// Conserved reports the recovered accounts summing to the initial
+	// total — the correctness bit the numbers are only meaningful under.
+	Conserved bool `json:"conserved"`
+}
+
+// runCheckpointPoint executes one (length, mode) cell in dir and restarts
+// from the durable artifacts.
+func runCheckpointPoint(cfg CheckpointConfig, length int, checkpointing bool, dir string) (CheckpointPoint, error) {
+	p := CheckpointPoint{Mode: "off", TxnsPerWorker: length}
+	if checkpointing {
+		p.Mode = "on"
+	}
+	walPath := filepath.Join(dir, fmt.Sprintf("ckpt-%s-%d.wal", p.Mode, length))
+	backend, err := wal.CreateFileBackend(walPath)
+	if err != nil {
+		return p, err
+	}
+	log, err := wal.Open(wal.Config{Async: true, BatchInterval: 50 * time.Microsecond, Backend: backend})
+	if err != nil {
+		return p, err
+	}
+	var store *checkpoint.FileStore
+	opts := txn.Options{Shards: cfg.Shards, WAL: log}
+	if checkpointing {
+		store, err = checkpoint.OpenFileStore(filepath.Join(dir, fmt.Sprintf("ckpt-%d.store", length)))
+		if err != nil {
+			return p, err
+		}
+		opts.Checkpoint = &txn.CheckpointOptions{Store: store}
+	}
+	ba := cfg.BankAccount()
+	e := txn.NewEngine(opts)
+	rel := adt.DefaultBankAccount().NRBC()
+	for i := 0; i < cfg.Accounts; i++ {
+		e.MustRegister(TransferAccountID(i), ba, rel, txn.UndoLogRecovery)
+	}
+
+	every := cfg.EveryTxns
+	if every < 1 || !checkpointing {
+		every = length
+	}
+	for done, r := 0, 0; done < length; r++ {
+		per := every
+		if length-done < per {
+			per = length - done
+		}
+		c := cfg.TransferConfig
+		c.TxnsPerWorker = per
+		c.Seed = cfg.Seed + int64(r)*104729
+		RunTransfers(e, c)
+		done += per
+		if checkpointing && done < length {
+			if _, err := e.Checkpoint(); err != nil {
+				return p, err
+			}
+		}
+	}
+	p.Commits = e.Metrics.Commits.Load()
+	p.Checkpoints = e.Metrics.Checkpoints.Load()
+	p.TruncatedRecords = e.Metrics.TruncatedRecords.Load()
+	if err := e.Close(); err != nil {
+		return p, err
+	}
+
+	// The restart, timed as the post-crash process would run it: reopen
+	// the durable file, load the newest snapshot, rebuild every account.
+	objs := make([]history.ObjectID, cfg.Accounts)
+	for i := range objs {
+		objs[i] = TransferAccountID(i)
+	}
+	start := time.Now()
+	reopened, err := wal.OpenFileBackend(walPath)
+	if err != nil {
+		return p, err
+	}
+	relog, err := wal.Open(wal.Config{Backend: reopened})
+	if err != nil {
+		return p, err
+	}
+	// Sample the crash-time log size now: the restart below appends loser
+	// compensation and abort records, which must not inflate the reported
+	// log-length axis.
+	p.LogRecords = relog.Records()
+	p.LogBytes = relog.Bytes()
+	var snap *checkpoint.Snapshot
+	if store != nil {
+		if snap, err = store.Latest(); err != nil {
+			return p, err
+		}
+	}
+	stores, stats, err := recovery.RestartAllWithCheckpoint(objs,
+		func(history.ObjectID) adt.Machine { return ba.Machine() }, relog, snap)
+	if err != nil {
+		return p, err
+	}
+	p.RestartUS = float64(time.Since(start).Nanoseconds()) / 1e3
+	p.ReplayedRecords = stats.Replayed
+	p.SkippedRecords = stats.Skipped
+	p.UndoneRecords = stats.Undone
+	p.SeededObjects = stats.SeededObjects
+	total := 0
+	for obj, st := range stores {
+		v, err := strconv.Atoi(st.CommittedValue().Encode())
+		if err != nil {
+			return p, fmt.Errorf("sim: restarted %s balance: %w", obj, err)
+		}
+		total += v
+	}
+	p.Conserved = total == cfg.Accounts*cfg.InitialBalance
+	if err := relog.Close(); err != nil {
+		return p, err
+	}
+	return p, nil
+}
+
+// CheckpointSweep runs the full off/on × length grid in a temporary
+// directory (or dir, when non-empty), returning one point per cell.
+func CheckpointSweep(cfg CheckpointConfig, dir string) ([]CheckpointPoint, error) {
+	if dir == "" {
+		d, err := os.MkdirTemp("", "ccbench-checkpoint-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+	var out []CheckpointPoint
+	for _, mode := range []bool{false, true} {
+		for _, length := range cfg.Lengths {
+			p, err := runCheckpointPoint(cfg, length, mode, dir)
+			if err != nil {
+				return nil, fmt.Errorf("sim: checkpoint sweep %s/%d: %w", p.Mode, length, err)
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// RenderCheckpointTable renders sweep points as a fixed-width table.
+func RenderCheckpointTable(title string, points []CheckpointPoint) string {
+	b := fmt.Sprintf("%s\n%-5s %6s %8s %6s %9s %10s %9s %9s %8s %11s %5s\n",
+		title, "mode", "txns/w", "commits", "ckpts", "logrecs", "truncated",
+		"replayed", "skipped", "undone", "restart(us)", "cons")
+	for _, p := range points {
+		b += fmt.Sprintf("%-5s %6d %8d %6d %9d %10d %9d %9d %8d %11.0f %5v\n",
+			p.Mode, p.TxnsPerWorker, p.Commits, p.Checkpoints, p.LogRecords,
+			p.TruncatedRecords, p.ReplayedRecords, p.SkippedRecords, p.UndoneRecords,
+			p.RestartUS, p.Conserved)
+	}
+	return b
+}

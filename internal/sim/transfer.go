@@ -33,6 +33,13 @@ type TransferConfig struct {
 	// MaxAmount bounds each transfer amount (drawn uniformly from
 	// 1..MaxAmount).
 	MaxAmount int
+	// Participants is the number of accounts each transfer touches
+	// (values below 2 mean the classic pair). With P participants a
+	// transaction withdraws (P-1)×amount from one source and fans the
+	// deposits out over P-1 distinct destinations — conservation is
+	// unchanged, but the commit protocol now spans P objects, so crash
+	// boundaries can fall between any two legs of a wider transaction.
+	Participants int
 	// InitialBalance seeds every account; the conserved total is
 	// Accounts * InitialBalance.
 	InitialBalance int
@@ -89,15 +96,23 @@ func NewTransferEngine(cfg TransferConfig, log *wal.Log) *txn.Engine {
 }
 
 // RunTransfers drives the transfer workload against e until every worker
-// has finished. Each transaction withdraws from a random source and, if the
-// withdrawal succeeded, deposits the same amount at a distinct random
-// destination; transactions whose withdrawal is refused (insufficient
-// funds) abort, as do a cfg.AbortPct fraction of complete transfers —
+// has finished. Each transaction withdraws from a random source and, if
+// the withdrawal succeeded, deposits the same total across P-1 distinct
+// random destinations (P = cfg.Participants, default 2 — the classic
+// pair); transactions whose withdrawal is refused (insufficient funds)
+// abort, as do a cfg.AbortPct fraction of complete transfers —
 // multi-object compensation under concurrency. Deadlock victims are
-// auto-aborted by the engine. The scheduler yield between the two legs
-// spreads a transfer's records over group-commit batches, so crash
-// boundaries genuinely fall inside transfers.
+// auto-aborted by the engine. The scheduler yields between legs spread a
+// transfer's records over group-commit batches, so crash boundaries
+// genuinely fall inside transfers.
 func RunTransfers(e *txn.Engine, cfg TransferConfig) {
+	parts := cfg.Participants
+	if parts < 2 {
+		parts = 2
+	}
+	if parts > cfg.Accounts {
+		parts = cfg.Accounts
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
@@ -106,13 +121,11 @@ func RunTransfers(e *txn.Engine, cfg TransferConfig) {
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*15485863))
 			for i := 0; i < cfg.TxnsPerWorker; i++ {
 				tx := e.Begin()
-				src := rng.Intn(cfg.Accounts)
-				dst := rng.Intn(cfg.Accounts - 1)
-				if dst >= src {
-					dst++
-				}
+				// src plus parts-1 distinct destinations, all different.
+				perm := rng.Perm(cfg.Accounts)[:parts]
+				src, dsts := perm[0], perm[1:]
 				amount := 1 + rng.Intn(cfg.MaxAmount)
-				res, err := tx.Invoke(TransferAccountID(src), adt.Withdraw(amount))
+				res, err := tx.Invoke(TransferAccountID(src), adt.Withdraw(amount*len(dsts)))
 				if err != nil {
 					if !errors.Is(err, txn.ErrAborted) {
 						_ = tx.Abort()
@@ -123,16 +136,24 @@ func RunTransfers(e *txn.Engine, cfg TransferConfig) {
 					_ = tx.Abort()
 					continue
 				}
-				runtime.Gosched()
-				res, err = tx.Invoke(TransferAccountID(dst), adt.Deposit(amount))
-				if err != nil {
-					if !errors.Is(err, txn.ErrAborted) {
-						_ = tx.Abort()
+				failed := false
+				for _, dst := range dsts {
+					runtime.Gosched()
+					res, err = tx.Invoke(TransferAccountID(dst), adt.Deposit(amount))
+					if err != nil {
+						if !errors.Is(err, txn.ErrAborted) {
+							_ = tx.Abort()
+						}
+						failed = true
+						break
 					}
-					continue
+					if res != "ok" {
+						_ = tx.Abort()
+						failed = true
+						break
+					}
 				}
-				if res != "ok" {
-					_ = tx.Abort()
+				if failed {
 					continue
 				}
 				runtime.Gosched()

@@ -80,3 +80,36 @@ func TestTransferAbortsCompensate(t *testing.T) {
 		}
 	}
 }
+
+// TestTransferMultiParticipantConservation: with Participants > 2 each
+// transaction withdraws (P-1)×amount at one source and fans the deposits
+// out over P-1 distinct destinations. Conservation must hold live across
+// the wider commit sweep, with both voluntary aborts and deadlock victims
+// compensating every leg.
+func TestTransferMultiParticipantConservation(t *testing.T) {
+	for _, parts := range []int{3, 4} {
+		cfg := DefaultTransferConfig()
+		cfg.Participants = parts
+		cfg.TxnsPerWorker = 20
+		cfg.Record = true
+		e := NewTransferEngine(cfg, nil)
+		RunTransfers(e, cfg)
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if e.Metrics.Commits.Load() == 0 {
+			t.Fatalf("participants=%d: no transfer committed", parts)
+		}
+		total, err := TransferTotal(e, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := cfg.Accounts * cfg.InitialBalance; total != want {
+			t.Fatalf("participants=%d: total balance = %d, want %d (a fan-out transfer was half-applied)",
+				parts, total, want)
+		}
+		if err := history.WellFormed(e.History()); err != nil {
+			t.Fatalf("participants=%d: merged history malformed: %v", parts, err)
+		}
+	}
+}

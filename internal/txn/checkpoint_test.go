@@ -1,0 +1,205 @@
+package txn_test
+
+// Engine-level fuzzy-checkpoint tests: checkpoints taken while concurrent
+// transactions run (the fuzzy part), snapshot shape (frontier below every
+// marker, captured objects covered), log truncation accounting, the
+// background interval checkpointer's lifecycle, and failure modes (no
+// store, closed engine).
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/adt"
+	"repro/internal/checkpoint"
+	"repro/internal/history"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+func ckptObjID(i int) history.ObjectID {
+	return history.ObjectID(fmt.Sprintf("ck%02d", i))
+}
+
+func newCkptEngine(t *testing.T, store checkpoint.Store, every time.Duration, objects int) *txn.Engine {
+	t.Helper()
+	log, err := wal.Open(wal.Config{Async: true, BatchInterval: 50 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := txn.NewEngine(txn.Options{
+		RecordHistory: true,
+		Shards:        4,
+		WAL:           log,
+		Checkpoint:    &txn.CheckpointOptions{Store: store, Every: every},
+	})
+	ba := adt.BankAccount{InitialBalance: 100, MaxBalance: 1 << 20, Amounts: []int{1, 2, 3}}
+	rel := adt.DefaultBankAccount().NRBC()
+	for i := 0; i < objects; i++ {
+		e.MustRegister(ckptObjID(i), ba, rel, txn.UndoLogRecovery)
+	}
+	return e
+}
+
+func runCkptWorkers(e *txn.Engine, workers, txns, objects int, seed int64) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)*7919))
+			for i := 0; i < txns; i++ {
+				tx := e.Begin()
+				ok := true
+				for op := 0; op < 3; op++ {
+					obj := ckptObjID(rng.Intn(objects))
+					var err error
+					if rng.Intn(2) == 0 {
+						_, err = tx.Invoke(obj, adt.Deposit(1+rng.Intn(3)))
+					} else {
+						_, err = tx.Invoke(obj, adt.Withdraw(1+rng.Intn(3)))
+					}
+					if err != nil {
+						if !errors.Is(err, txn.ErrAborted) {
+							_ = tx.Abort()
+						}
+						ok = false
+						break
+					}
+					runtime.Gosched()
+				}
+				if !ok {
+					continue
+				}
+				if rng.Intn(4) == 0 {
+					_ = tx.Abort()
+				} else {
+					_ = tx.Commit()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestCheckpointFuzzySnapshotShape takes manual checkpoints in the middle
+// of a concurrent workload and checks the snapshot invariants: every
+// undo-log object captured, the frontier (begin marker) below every
+// per-object marker, the durable watermark at completion covering the last
+// marker, truncation reclaiming exactly the pre-frontier prefix, and the
+// engine still verifying and committing afterwards.
+func TestCheckpointFuzzySnapshotShape(t *testing.T) {
+	const objects = 6
+	store := checkpoint.NewMemStore()
+	e := newCkptEngine(t, store, 0, objects)
+	defer e.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		runCkptWorkers(e, 4, 30, objects, 7)
+	}()
+	var snap *checkpoint.Snapshot
+	var err error
+	for i := 0; i < 3; i++ {
+		snap, err = e.Checkpoint()
+		if err != nil {
+			t.Errorf("checkpoint %d: %v", i, err)
+		}
+		runtime.Gosched()
+	}
+	wg.Wait()
+	if err != nil || snap == nil {
+		t.Fatalf("no snapshot: %v", err)
+	}
+	if got := e.Metrics.Checkpoints.Load(); got != 3 {
+		t.Fatalf("Metrics.Checkpoints = %d, want 3", got)
+	}
+	if len(snap.Objects) != objects {
+		t.Fatalf("snapshot covers %d objects, want %d", len(snap.Objects), objects)
+	}
+	for _, os := range snap.Objects {
+		if os.MarkerLSN <= snap.Frontier {
+			t.Errorf("object %s marker %d not past frontier %d", os.Obj, os.MarkerLSN, snap.Frontier)
+		}
+		if snap.DurableLSN < os.MarkerLSN {
+			t.Errorf("object %s marker %d past completion watermark %d", os.Obj, os.MarkerLSN, snap.DurableLSN)
+		}
+	}
+	latest, err := store.Latest()
+	if err != nil || latest == nil || latest.ID != snap.ID {
+		t.Fatalf("store Latest = %+v, %v; want %s", latest, err, snap.ID)
+	}
+	// Truncation reclaimed the prefix: the log's base advanced to the last
+	// checkpoint's frontier.
+	if got := e.WAL().Base(); got != snap.Frontier-1 {
+		t.Fatalf("log base = %d, want frontier-1 = %d", got, snap.Frontier-1)
+	}
+	if got := e.Metrics.TruncatedRecords.Load(); got != int64(snap.Frontier-1) {
+		t.Fatalf("Metrics.TruncatedRecords = %d, want %d", got, int64(snap.Frontier-1))
+	}
+	// The engine keeps working after checkpoints + truncation.
+	tx := e.Begin()
+	if _, err := tx.Invoke(ckptObjID(0), adt.Deposit(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := history.WellFormed(e.History()); err != nil {
+		t.Fatalf("history malformed after checkpoints: %v", err)
+	}
+}
+
+// TestCheckpointIntervalGoroutine: the engine-owned background
+// checkpointer takes checkpoints on its own and is stopped by Close
+// (idempotent, no goroutine leak under -race).
+func TestCheckpointIntervalGoroutine(t *testing.T) {
+	const objects = 4
+	store := checkpoint.NewMemStore()
+	e := newCkptEngine(t, store, 200*time.Microsecond, objects)
+	runCkptWorkers(e, 3, 40, objects, 11)
+	deadline := time.Now().Add(2 * time.Second)
+	for e.Metrics.Checkpoints.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if e.Metrics.Checkpoints.Load() == 0 {
+		t.Fatal("background checkpointer took no checkpoint")
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal("second Close not idempotent:", err)
+	}
+	if s, err := store.Latest(); err != nil || s == nil {
+		t.Fatalf("no snapshot saved: %v, %v", s, err)
+	}
+}
+
+// TestCheckpointFailureModes: no configured store, and a closed engine,
+// both fail loudly without side effects.
+func TestCheckpointFailureModes(t *testing.T) {
+	e := txn.NewEngine(txn.Options{})
+	if _, err := e.Checkpoint(); err == nil {
+		t.Fatal("checkpoint without a store must fail")
+	}
+
+	store := checkpoint.NewMemStore()
+	e2 := newCkptEngine(t, store, 0, 2)
+	if err := e2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.Checkpoint(); !errors.Is(err, wal.ErrClosed) {
+		t.Fatalf("checkpoint on closed engine: err = %v, want wal.ErrClosed", err)
+	}
+	if got := e2.Metrics.Checkpoints.Load(); got != 0 {
+		t.Fatalf("failed checkpoints counted: %d", got)
+	}
+}

@@ -182,6 +182,12 @@ type Metrics struct {
 	// difference is the measured concurrency cost of holding locks to the
 	// ack.
 	CommitHoldNS atomic.Int64
+	// Checkpoints counts completed fuzzy checkpoints (snapshot durably
+	// saved); failed or crash-aborted attempts are not counted.
+	Checkpoints atomic.Int64
+	// TruncatedRecords counts WAL records reclaimed by checkpoint-driven
+	// log truncation — the log growth that restart no longer pays for.
+	TruncatedRecords atomic.Int64
 }
 
 // Options configures an Engine.
@@ -201,6 +207,11 @@ type Options struct {
 	// ReleasePolicy selects when Txn.Commit releases its locks relative to
 	// the durability barrier. The zero value is ReleaseEarlyTracked.
 	ReleasePolicy ReleasePolicy
+	// Checkpoint, when non-nil, enables fuzzy checkpointing: manual
+	// Engine.Checkpoint calls and, with Every set, a background
+	// checkpointer goroutine the engine owns (stopped by Engine.Close).
+	// See CheckpointOptions.
+	Checkpoint *CheckpointOptions
 }
 
 // normalizeShards rounds n up to a power of two within
@@ -224,6 +235,26 @@ type Engine struct {
 	mask   uint32
 	txnSeq atomic.Int64
 	evSeq  atomic.Int64
+
+	// ckptGate orders fuzzy-checkpoint captures against the commit
+	// protocol's decision window. Txn.Commit holds the read side from its
+	// first per-object store.Commit until the transaction-level commit
+	// record is staged; Engine.Checkpoint holds the write side around each
+	// object capture. The exclusion guarantees that any transaction whose
+	// effects a capture reflects without undo records (its per-object
+	// commit discharged the chain before the capture) has already staged
+	// its TxnCommitRec — with a stamp below the capture marker's — so the
+	// checkpoint's durability wait covers the commit decision too, and no
+	// snapshot can ever bake in an unsynced, undecided transaction.
+	ckptGate sync.RWMutex
+	// ckptMu serializes whole checkpoints; ckptSeq numbers them.
+	ckptMu   sync.Mutex
+	ckptSeq  atomic.Int64
+	ckptQuit chan struct{}
+	ckptDone chan struct{}
+
+	closeOnce sync.Once
+	closeErr  error
 
 	// Metrics is exported for the experiment harness.
 	Metrics Metrics
@@ -277,6 +308,11 @@ func NewEngine(opts Options) *Engine {
 			recorder: history.NewRecorder(&e.evSeq),
 		}
 	}
+	if opts.Checkpoint != nil && opts.Checkpoint.Store != nil && opts.Checkpoint.Every > 0 {
+		e.ckptQuit = make(chan struct{})
+		e.ckptDone = make(chan struct{})
+		go e.checkpointLoop(opts.Checkpoint.Every)
+	}
 	return e
 }
 
@@ -287,14 +323,24 @@ func (e *Engine) Shards() int { return len(e.shards) }
 // objects; inspectable in tests).
 func (e *Engine) WAL() *wal.Log { return e.log }
 
-// Close shuts down the engine's write-ahead log: staged records are
-// sequenced and synced, the flusher (if asynchronous) is stopped, and the
-// durability backend is closed. It returns the first backend sync failure,
-// if any. Close is idempotent (a second call returns the same result) and
-// safe to race with in-flight Commit/Abort calls: a transaction that loses
-// the race observes a typed failure wrapping wal.ErrClosed instead of an
+// Close shuts down the engine: the background checkpointer (if any) is
+// stopped first, then the write-ahead log — staged records are sequenced
+// and synced, the flusher (if asynchronous) is stopped, and the durability
+// backend is closed. It returns the first backend sync failure, if any.
+// Close is idempotent (a second call returns the same result) and safe to
+// race with in-flight Commit/Abort calls: a transaction that loses the
+// race observes a typed failure wrapping wal.ErrClosed instead of an
 // unspecified outcome, with its locks released.
-func (e *Engine) Close() error { return e.log.Close() }
+func (e *Engine) Close() error {
+	e.closeOnce.Do(func() {
+		if e.ckptQuit != nil {
+			close(e.ckptQuit)
+			<-e.ckptDone
+		}
+		e.closeErr = e.log.Close()
+	})
+	return e.closeErr
+}
 
 // shardOf returns the shard owning id.
 func (e *Engine) shardOf(id history.ObjectID) *engineShard {
@@ -646,10 +692,27 @@ func (t *Txn) Commit() error {
 	// mid-sweep failure terminates: already-committed participants keep
 	// their terminal Commit event, the rest are aborted, and no
 	// transaction-level commit record is staged — restart sees a loser.
+	//
+	// The checkpoint gate is held (shared) across the sweep and the staging
+	// of the transaction-level commit record: a fuzzy checkpoint capture
+	// (which holds it exclusively) can therefore never observe an object
+	// whose chain this transaction's store.Commit already discharged while
+	// the commit decision is still unstaged — the window that would let a
+	// snapshot bake in effects that a crash could make un-undoable.
+	e.ckptGate.RLock()
+	gated := true
+	ungate := func() {
+		if gated {
+			gated = false
+			e.ckptGate.RUnlock()
+		}
+	}
+	defer ungate()
 	committed := 0
 	for _, obj := range objs {
 		mo, ok := e.lookup(obj)
 		if !ok {
+			ungate()
 			hold()
 			return t.terminate(objs, committed,
 				fmt.Errorf("txn %s: commit: object %q vanished", t.id, obj))
@@ -657,6 +720,7 @@ func (t *Txn) Commit() error {
 		mo.mu.Lock()
 		if err := mo.store.Commit(t.id); err != nil {
 			mo.mu.Unlock()
+			ungate()
 			hold()
 			return t.terminate(objs, committed,
 				fmt.Errorf("txn %s: commit at %s: %w", t.id, obj, err))
@@ -674,6 +738,7 @@ func (t *Txn) Commit() error {
 			// The log closed under us (Commit racing Engine.Close): the
 			// transaction is committed in memory but its commit decision
 			// never reached the log.
+			ungate()
 			t.releaseLocks(0)
 			hold()
 			e.Metrics.DurabilityFailures.Add(1)
@@ -682,6 +747,7 @@ func (t *Txn) Commit() error {
 		}
 		ticket = tk
 	}
+	ungate()
 	// barrier makes the commit durable: flush the group-commit batch,
 	// surface any sticky backend failure, and wait until the durable
 	// watermark covers both this transaction's own commit record and its

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -30,6 +31,17 @@ type Backend interface {
 // replayed records into the committed region before accepting new appends.
 type Replayer interface {
 	Replay() []Record
+}
+
+// Truncator is implemented by backends that can discard a durable prefix
+// of the log — the storage-reclamation half of checkpointing.
+// Log.TruncateBefore calls it after dropping the in-memory prefix; the
+// call must be atomic with respect to crashes (a crash mid-truncation
+// leaves either the old log or the truncated log, never a torn mix), which
+// the file backend provides by rewriting into a temporary file and
+// renaming it over the log.
+type Truncator interface {
+	TruncateBefore(lsn LSN) error
 }
 
 // EncodedUndo is an undo token in its durable string form. Producers that
@@ -191,6 +203,102 @@ func (b *FileBackend) Sync(records []Record) error {
 	return nil
 }
 
+// TruncateBefore implements Truncator: rewrite the file keeping only the
+// records with LSN at or above lsn, atomically. The surviving suffix is
+// written to a sibling temporary file, fsynced, and renamed over the log —
+// a crash at any point leaves a file OpenFileBackend can scan (either the
+// old log or the complete truncated one), never a torn mix. The Log layer
+// guarantees lsn never exceeds the durable watermark plus one, so every
+// record the rewrite is asked to keep is present in the file.
+func (b *FileBackend) TruncateBefore(lsn LSN) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return fmt.Errorf("wal: truncate on closed file backend %s", b.path)
+	}
+	recs, _, err := scanFileLog(b.f)
+	// Restore the append position immediately: the scan moved the shared
+	// offset, and any early-error return below must leave the handle ready
+	// for the next Sync.
+	if _, serr := b.f.Seek(0, io.SeekEnd); serr != nil {
+		return fmt.Errorf("wal: truncate %s: %w", b.path, serr)
+	}
+	if err != nil {
+		return fmt.Errorf("wal: truncate %s: %w", b.path, err)
+	}
+	tmp := b.path + ".truncating"
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: truncate %s: %w", b.path, err)
+	}
+	var suffix strings.Builder
+	for _, r := range recs {
+		if r.LSN < lsn {
+			continue
+		}
+		line, err := encodeRecord(r)
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("wal: truncate %s: %w", b.path, err)
+		}
+		suffix.WriteString(line)
+	}
+	if _, err := f.WriteString(suffix.String()); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: truncate %s: %w", b.path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: truncate %s: %w", b.path, err)
+	}
+	if err := os.Rename(tmp, b.path); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: truncate %s: %w", b.path, err)
+	}
+	// Make the rename durable before any further Sync acks against the new
+	// inode: without the directory fsync a crash could resurrect the old
+	// dirent — the pre-truncation inode, missing every post-truncation
+	// batch — and lose acknowledged commits.
+	if err := syncDir(filepath.Dir(b.path)); err != nil {
+		f.Close()
+		b.f = f
+		b.closed = true
+		return fmt.Errorf("wal: truncate %s: directory sync (backend now closed): %w", b.path, err)
+	}
+	// The old handle now points at the unlinked pre-truncation inode; swap
+	// it for the renamed file, positioned to append. The rename is already
+	// committed, so a failure positioning the new handle must not leave a
+	// silently closed (or mis-positioned — appends at a wrong offset would
+	// corrupt the log) handle behind: go explicitly fail-stop instead. The
+	// durable truncated log is intact either way and replays on reopen.
+	b.f.Close()
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		b.f = f
+		b.closed = true
+		return fmt.Errorf("wal: truncate %s: positioning renamed log (backend now closed): %w", b.path, err)
+	}
+	b.f = f
+	return nil
+}
+
+// syncDir fsyncs a directory, making a rename inside it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	return serr
+}
+
 // Close implements Backend. Idempotent.
 func (b *FileBackend) Close() error {
 	b.mu.Lock()
@@ -249,7 +357,7 @@ func decodeRecord(line string) (Record, error) {
 		return Record{}, fmt.Errorf("wal: bad LSN %q", fields[0])
 	}
 	kind, err := strconv.Atoi(fields[1])
-	if err != nil || kind < int(Update) || kind > int(TxnCommitRec) {
+	if err != nil || kind < int(Update) || kind > int(CheckpointRec) {
 		return Record{}, fmt.Errorf("wal: bad record kind %q", fields[1])
 	}
 	prev, err := strconv.ParseUint(fields[4], 10, 64)
@@ -310,8 +418,14 @@ func scanFileLog(f *os.File) ([]Record, int64, error) {
 			return nil, 0, fmt.Errorf("wal: corrupt log record before offset %d: %w",
 				clean+int64(len(line)), derr)
 		}
-		if want := LSN(len(recs)) + 1; r.LSN != want {
-			return nil, 0, fmt.Errorf("wal: log file LSN %d out of sequence (want %d)", r.LSN, want)
+		// A truncated log starts past LSN 1 (the first surviving record
+		// names the base); from there LSNs must be contiguous.
+		if r.LSN == 0 {
+			return nil, 0, fmt.Errorf("wal: log file record with nil LSN")
+		}
+		if len(recs) > 0 && r.LSN != recs[len(recs)-1].LSN+1 {
+			return nil, 0, fmt.Errorf("wal: log file LSN %d out of sequence (want %d)",
+				r.LSN, recs[len(recs)-1].LSN+1)
 		}
 		recs = append(recs, r)
 		clean += int64(len(line))

@@ -115,6 +115,17 @@ const (
 	// even if some of its per-object CommitRecs survived; the per-object
 	// records remain as redo hints only.
 	TxnCommitRec
+	// CheckpointRec marks a fuzzy-checkpoint capture point. Txn carries the
+	// checkpoint's identifier (checkpoints reuse the per-transaction
+	// backward chain so all of one checkpoint's markers are walkable). The
+	// begin marker (Obj empty) is staged before any object is captured and
+	// its LSN is the checkpoint's frontier — the truncation point and the
+	// start of the winner scan at a checkpointed restart. Each per-object
+	// marker (Obj set) is staged under that object's latch at the instant
+	// its state is captured, so the marker's LSN splits the object's
+	// records exactly into captured prefix and replayable suffix. Restart
+	// ignores markers of checkpoints it is not seeded from.
+	CheckpointRec
 )
 
 // String implements fmt.Stringer.
@@ -130,6 +141,8 @@ func (k RecordKind) String() string {
 		return "clr"
 	case TxnCommitRec:
 		return "txn-commit"
+	case CheckpointRec:
+		return "checkpoint"
 	}
 	return fmt.Sprintf("RecordKind(%d)", int(k))
 }
@@ -216,7 +229,17 @@ type Log struct {
 	// flushMu serializes batch sequencing; mu guards the committed region.
 	flushMu sync.Mutex
 	mu      sync.Mutex
+	// records holds the retained suffix of the log: records[i] has LSN
+	// base+i+1. base counts records truncated away by TruncateBefore (or
+	// absent from a reopened, previously truncated file); LSNs are never
+	// renumbered, so references recorded before a truncation (checkpoint
+	// frontiers, PrevLSN chains) stay meaningful.
 	records []Record
+	base    LSN
+	// bytes approximates the encoded size of the retained records (the
+	// log-length accounting the checkpoint sweeps report); maintained by
+	// flushOnce and TruncateBefore.
+	bytes   int64
 	lastOf  map[history.TxnID]LSN
 	syncErr error // first backend failure, under mu
 
@@ -310,19 +333,33 @@ func Open(cfg Config) (*Log, error) {
 	}
 	if rp, ok := cfg.Backend.(Replayer); ok && rp != nil {
 		for _, r := range rp.Replay() {
-			if want := LSN(len(l.records)) + 1; r.LSN != want {
+			// A previously truncated file starts past LSN 1: the first
+			// surviving record fixes the base, and continuity is required
+			// from there.
+			if len(l.records) == 0 {
+				if r.LSN == 0 {
+					return nil, fmt.Errorf("wal: replay: record with nil LSN")
+				}
+				l.base = r.LSN - 1
+			}
+			if want := l.base + LSN(len(l.records)) + 1; r.LSN != want {
 				return nil, fmt.Errorf("wal: replay: LSN %d out of sequence (want %d)", r.LSN, want)
 			}
 			if r.PrevLSN != l.lastOf[r.Txn] {
-				return nil, fmt.Errorf("wal: replay: LSN %d of %s chains to %d, want %d",
-					r.LSN, r.Txn, r.PrevLSN, l.lastOf[r.Txn])
+				// A transaction whose chain head was truncated away chains
+				// into the dropped prefix; anything else is corruption.
+				if !(l.lastOf[r.Txn] == 0 && r.PrevLSN != 0 && r.PrevLSN <= l.base) {
+					return nil, fmt.Errorf("wal: replay: LSN %d of %s chains to %d, want %d",
+						r.LSN, r.Txn, r.PrevLSN, l.lastOf[r.Txn])
+				}
 			}
 			l.records = append(l.records, r)
+			l.bytes += approxRecordSize(r)
 			l.lastOf[r.Txn] = r.LSN
 		}
 		// Replayed records came from the durable file; the watermark starts
 		// past them.
-		l.durableLSN = LSN(len(l.records))
+		l.durableLSN = l.base + LSN(len(l.records))
 	}
 	if cfg.Async {
 		l.async = true
@@ -577,12 +614,13 @@ func (l *Log) flushOnce() {
 			recs = make([]Record, len(batch))
 		}
 		l.mu.Lock()
-		base := LSN(len(l.records))
+		next := l.base + LSN(len(l.records))
 		for i, s := range batch {
-			s.rec.LSN = base + LSN(i) + 1
+			s.rec.LSN = next + LSN(i) + 1
 			s.rec.PrevLSN = l.lastOf[s.rec.Txn]
 			l.lastOf[s.rec.Txn] = s.rec.LSN
 			l.records = append(l.records, s.rec)
+			l.bytes += approxRecordSize(s.rec)
 			s.lsn = s.rec.LSN
 			if recs != nil {
 				recs[i] = s.rec
@@ -693,15 +731,16 @@ func (l *Log) Flushes() int64 { return l.flushes.Load() }
 // (FlushedRecords/Flushes is the mean group-commit batch size).
 func (l *Log) FlushedRecords() int64 { return l.flushed.Load() }
 
-// Get returns the record at the LSN, flushing staged records first.
+// Get returns the record at the LSN, flushing staged records first. A
+// truncated LSN (at or below Base) is absent.
 func (l *Log) Get(lsn LSN) (Record, bool) {
 	l.Flush()
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if lsn == 0 || int(lsn) > len(l.records) {
+	if lsn <= l.base || lsn > l.base+LSN(len(l.records)) {
 		return Record{}, false
 	}
-	return l.records[lsn-1], true
+	return l.records[lsn-l.base-1], true
 }
 
 // LastLSN returns the most recent LSN written for txn (0 if none),
@@ -713,7 +752,8 @@ func (l *Log) LastLSN(txn history.TxnID) LSN {
 	return l.lastOf[txn]
 }
 
-// Len returns the number of records, flushing staged records first.
+// Len returns the number of retained records (truncated records excluded),
+// flushing staged records first.
 func (l *Log) Len() int {
 	l.Flush()
 	l.mu.Lock()
@@ -721,27 +761,129 @@ func (l *Log) Len() int {
 	return len(l.records)
 }
 
+// Records is the log-size accounting the checkpoint experiments report:
+// the number of retained records, flushing staged records first. It equals
+// Len; the pair Records/Bytes names the measurement intent.
+func (l *Log) Records() int { return l.Len() }
+
+// Bytes returns the approximate encoded size of the retained records —
+// the log-length axis of the restart-cost experiment, maintained
+// incrementally so truncation's effect is visible without re-encoding the
+// log. Staged records are flushed first.
+func (l *Log) Bytes() int64 {
+	l.Flush()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytes
+}
+
+// Base returns the truncation base: every record with LSN at or below it
+// has been discarded by TruncateBefore (0 for an untruncated log). LSNs
+// are never renumbered, so Base+1 is the first replayable LSN.
+func (l *Log) Base() LSN {
+	l.Flush()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base
+}
+
+// SuffixLen returns the number of retained records with LSN strictly
+// greater than lsn — the suffix a checkpoint-seeded restart replays when
+// lsn is the checkpoint frontier. Staged records are flushed first.
+func (l *Log) SuffixLen(lsn LSN) int {
+	l.Flush()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	high := l.base + LSN(len(l.records))
+	if lsn >= high {
+		return 0
+	}
+	if lsn < l.base {
+		lsn = l.base
+	}
+	return int(high - lsn)
+}
+
 // TxnChain returns txn's records newest-first, following PrevLSN — the
-// traversal abort processing performs. Staged records are flushed first.
+// traversal abort processing performs. Staged records are flushed first;
+// a chain that crosses the truncation base stops at the oldest retained
+// record.
 func (l *Log) TxnChain(txn history.TxnID) []Record {
 	l.Flush()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	var out []Record
 	lsn := l.lastOf[txn]
-	for lsn != 0 {
-		r := l.records[lsn-1]
+	for lsn > l.base {
+		r := l.records[lsn-l.base-1]
 		out = append(out, r)
 		lsn = r.PrevLSN
 	}
 	return out
 }
 
-// Snapshot returns a copy of all records in LSN order (diagnostics,
-// tests), flushing staged records first.
+// Snapshot returns a copy of the retained records in LSN order
+// (diagnostics, tests), flushing staged records first. Truncated records
+// are gone; the first record's LSN is Base+1.
 func (l *Log) Snapshot() []Record {
 	l.Flush()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return append([]Record(nil), l.records...)
+}
+
+// TruncateBefore discards every record with LSN strictly below lsn from
+// the retained log and, when the backend supports it (see Truncator), from
+// durable storage — the log-reclamation half of fuzzy checkpointing. The
+// requested point is clamped to the durable watermark plus one: truncation
+// never crosses the watermark, because records past it exist only in
+// memory (a lagging or failed flusher) and dropping their durable prefix
+// would leave the file unreplayable. It returns the number of records
+// discarded. LSNs are not renumbered; Base advances instead.
+//
+// On a log whose backend has died, or under a simulated crash
+// (CrashPoint), only the in-memory prefix is dropped — a dead machine
+// cannot rewrite its file, and the sticky-error/crash contracts already
+// freeze or fake the watermark accordingly.
+func (l *Log) TruncateBefore(lsn LSN) (int, error) {
+	// flushMu orders the truncation against batch sequencing (no new LSNs
+	// are assigned mid-truncate) and serializes the backend rewrite against
+	// Sync, matching flushOnce's flushMu → mu order.
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+	skipBackend := l.crashed || l.dead || l.backendGone
+	l.mu.Lock()
+	if maxPoint := l.durableLSN + 1; lsn > maxPoint {
+		lsn = maxPoint
+	}
+	if lsn <= l.base+1 {
+		l.mu.Unlock()
+		return 0, nil
+	}
+	n := int(lsn - 1 - l.base)
+	for _, r := range l.records[:n] {
+		l.bytes -= approxRecordSize(r)
+	}
+	// Copy the suffix so the truncated prefix's backing array is released.
+	l.records = append([]Record(nil), l.records[n:]...)
+	l.base = lsn - 1
+	l.mu.Unlock()
+	if !skipBackend {
+		if tr, ok := l.backend.(Truncator); ok {
+			if err := tr.TruncateBefore(lsn); err != nil {
+				return n, fmt.Errorf("wal: truncate backend before %d: %w", lsn, err)
+			}
+		}
+	}
+	return n, nil
+}
+
+// approxRecordSize estimates a record's encoded size (fixed framing plus
+// its string payloads) for the Bytes accounting.
+func approxRecordSize(r Record) int64 {
+	n := 24 + len(r.Txn) + len(r.Obj) + len(r.Op.Inv.Name) + len(r.Op.Inv.Args) + len(r.Op.Res)
+	if enc, ok := r.Undo.(EncodedUndo); ok {
+		n += len(enc)
+	}
+	return int64(n)
 }
