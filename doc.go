@@ -61,13 +61,28 @@
 // restart-time-versus-log-length trade-off E17 measures, proven correct by
 // crash injection at every boundary including mid-checkpoint crashes.
 //
+// The durable log itself is segmented (wal.SegmentedBackend, the default
+// through txn.NewDurableEngine): records append to a size-bounded active
+// segment file, rotation seals whole segments (a flush batch never spans
+// one, so only the final segment can be torn by a crash — a torn earlier
+// segment is corruption), and truncation unlinks dead segments below the
+// frontier instead of rewriting the survivor — wal.TruncateStats proves
+// zero bytes rewritten, with a retention policy holding back the newest
+// dead segments. Restart exploits the same structure in parallel
+// (recovery.RestartAllWithConfig): the winner scan fans out one goroutine
+// per segment and pass 2 hashes objects over a worker pool, with the
+// recovered state, winner set, appended records, and stats bit-identical
+// at every parallelism — E18 measures the truncation bill and the replay
+// distribution across backend × segment size × parallelism.
+//
 // The benchmarks in bench_test.go regenerate every table and figure of the
 // paper plus the engine scaling sweep (shards × GOMAXPROCS × operation
 // mix, including a read-mostly variant), the group-commit flush sweep
 // (flusher dwell × sync latency), the lock-release-policy sweep
-// (policy × sync latency × contention skew), and the checkpointed-restart
-// sweep (restart cost × log length); `ccbench -experiment
-// scaling,flush,release,checkpoint -json` writes them to
+// (policy × sync latency × contention skew), the checkpointed-restart
+// sweep (restart cost × log length), and the segmented-restart sweep
+// (backend × segment size × restart parallelism); `ccbench -experiment
+// scaling,flush,release,checkpoint,restart -json` writes them to
 // BENCH_engine.json. See EXPERIMENTS.md for the methodology and the
 // 1-vCPU measurement caveats.
 package repro

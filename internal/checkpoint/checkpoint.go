@@ -99,8 +99,16 @@ type Snapshot struct {
 	Frontier wal.LSN `json:"frontier"`
 	// DurableLSN is the WAL's durable watermark when the snapshot
 	// completed (diagnostics; always at or past the last marker).
-	DurableLSN wal.LSN          `json:"durable_lsn"`
-	Objects    []ObjectSnapshot `json:"objects"`
+	DurableLSN wal.LSN `json:"durable_lsn"`
+	// TruncatedBefore is the truncation point the engine actually realized
+	// after this checkpoint — Frontier clamped to the durable watermark and
+	// aligned down to the backend's truncation boundary (a segment start,
+	// for the segmented backend; see wal.TruncateAligner). Zero when
+	// truncation was disabled or nothing was reclaimed. Diagnostics: the
+	// reopened log's base always equals the newest snapshot's aligned
+	// point, never the raw frontier.
+	TruncatedBefore wal.LSN          `json:"truncated_before,omitempty"`
+	Objects         []ObjectSnapshot `json:"objects"`
 }
 
 // Object returns the capture for obj, or nil if the snapshot does not

@@ -2,17 +2,37 @@ package recovery
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"time"
 
 	"repro/internal/adt"
 	"repro/internal/checkpoint"
 	"repro/internal/history"
+	stripepkg "repro/internal/stripe"
 	"repro/internal/wal"
 )
 
+// WorkerStats counts the pass-2 work one restart worker performed — the
+// per-worker distribution E18 reports to show replay actually spreading
+// across the pool.
+type WorkerStats struct {
+	// Objects is the number of objects hashed to this worker.
+	Objects int `json:"objects"`
+	// Replayed/Skipped/Undone are this worker's shares of the aggregate
+	// counters (see RestartStats).
+	Replayed int `json:"replayed"`
+	Skipped  int `json:"skipped"`
+	Undone   int `json:"undone"`
+}
+
 // RestartStats counts the work one restart performed — the dependent
-// variable of the restart-time-versus-log-length experiment (E17).
-// Without a checkpoint, Replayed grows with the whole log; with one, it is
-// bounded by the suffix past the checkpoint frontier.
+// variable of the restart-time-versus-log-length experiment (E17) and of
+// the parallel-restart experiment (E18). Without a checkpoint, Replayed
+// grows with the whole log; with one, it is bounded by the suffix past the
+// checkpoint frontier. The aggregate counters are identical for any
+// parallelism (object assignment only moves work between workers); only
+// PerWorker and the wall-clock fields vary.
 type RestartStats struct {
 	// LogRecords is the number of records in the scanned (retained) log —
 	// what pass 1's winner scan walks.
@@ -31,6 +51,34 @@ type RestartStats struct {
 	SeededTxns    int
 	// Undone counts loser updates rolled back by the undo phase.
 	Undone int
+
+	// Segments is the number of partitions pass 1's winner scan fanned out
+	// over: the durable segment count for a segmented backend, otherwise
+	// the even-chunk count (1 when the scan ran sequentially).
+	Segments int
+	// Parallelism is the pass-2 worker-pool size actually used.
+	Parallelism int
+	// PerWorker is each pass-2 worker's share of the object set and the
+	// replay counters, in worker order.
+	PerWorker []WorkerStats
+	// Pass1NS, Pass2NS, and WallNS are wall-clock nanoseconds for the
+	// winner scan, the redo/undo phase, and the whole restart. On a loaded
+	// or single-vCPU machine these are ordinal signals only; the record
+	// counts above are the machine-independent measurement.
+	Pass1NS int64
+	Pass2NS int64
+	WallNS  int64
+}
+
+// RestartConfig parameterizes RestartAllWithConfig.
+type RestartConfig struct {
+	// Parallelism is the pass-2 worker-pool size (rounded up to a power of
+	// two so object assignment can hash; 0 selects GOMAXPROCS). Pass 1
+	// fans out one goroutine per durable log segment (or per even chunk,
+	// up to Parallelism, for unsegmented backends). Parallelism 1 is the
+	// fully sequential restart; any value yields an identical recovered
+	// state, winner set, and aggregate counters.
+	Parallelism int
 }
 
 // Winners scans log records for transaction-level commit records and
@@ -47,6 +95,72 @@ func Winners(recs []wal.Record) map[history.TxnID]bool {
 		}
 	}
 	return w
+}
+
+// winnersParallel is Winners fanned out over the partitions of snap
+// induced by the durable segment bounds (each bound is the first LSN of
+// one segment; snap is LSN-contiguous, so a bound maps to an index by
+// plain arithmetic). Commit records are only ever added to the winner set,
+// so partition-local scans merge by union. Falls back to p even chunks
+// when the backend is unsegmented, and to a plain scan for small logs.
+// Returns the winner set and the partition count.
+func winnersParallel(snap []wal.Record, bounds []wal.LSN, p int) (map[history.TxnID]bool, int) {
+	if len(snap) == 0 {
+		return map[history.TxnID]bool{}, 1
+	}
+	// Partition start indices into snap, ascending, starting at 0.
+	var starts []int
+	if len(bounds) > 0 {
+		first := snap[0].LSN
+		for _, b := range bounds {
+			idx := 0
+			if b > first {
+				idx = int(b - first)
+			}
+			if idx >= len(snap) {
+				continue
+			}
+			if len(starts) == 0 || idx > starts[len(starts)-1] {
+				starts = append(starts, idx)
+			}
+		}
+		if len(starts) == 0 || starts[0] != 0 {
+			starts = append([]int{0}, starts...)
+		}
+	} else {
+		if p < 1 {
+			p = 1
+		}
+		chunk := (len(snap) + p - 1) / p
+		for i := 0; i < len(snap); i += chunk {
+			starts = append(starts, i)
+		}
+	}
+	if len(starts) <= 1 {
+		return Winners(snap), len(starts)
+	}
+	sets := make([]map[history.TxnID]bool, len(starts))
+	var wg sync.WaitGroup
+	for i := range starts {
+		lo := starts[i]
+		hi := len(snap)
+		if i+1 < len(starts) {
+			hi = starts[i+1]
+		}
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			sets[i] = Winners(snap[lo:hi])
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	merged := make(map[history.TxnID]bool)
+	for _, s := range sets {
+		for t := range s {
+			merged[t] = true
+		}
+	}
+	return merged, len(starts)
 }
 
 // Restart reconstructs an UndoLog store for object obj from its write-ahead
@@ -94,19 +208,30 @@ func Restart(obj history.ObjectID, m adt.Machine, log *wal.Log) (*UndoLog, error
 	}
 	snap := log.Snapshot()
 	var stats RestartStats
-	return restartWith(obj, m, log, snap, Winners(snap), nil, &stats)
+	st, tail, err := restartWith(obj, m, log, snap, Winners(snap), nil, &stats)
+	if err != nil {
+		return nil, err
+	}
+	appendTail(log, tail)
+	return st, nil
+}
+
+// appendTail writes the compensation and abort records a restart's undo
+// phase produced. Restart workers never touch the log themselves; their
+// tails are appended here, in object order, so the records land in the
+// same sequence regardless of parallelism.
+func appendTail(log *wal.Log, tail []wal.Record) {
+	for _, r := range tail {
+		log.Append(r)
+	}
 }
 
 // RestartAll restarts every listed object of one shared log, scanning the
 // log and computing the winner set once (pass 1 is per-log, not
-// per-object). machineFor supplies a fresh machine per object. Objects are
-// restarted in the given order, so the compensation and abort records the
-// undo phases append are deterministic.
-//
-// The snapshot is taken once: the records each object's undo phase appends
-// are scoped to that object and invisible to the others' pass 2 anyway,
-// and no restart ever appends a TxnCommitRec, so the shared winner set
-// stays exact.
+// per-object). machineFor supplies a fresh machine per object. The
+// compensation and abort records the undo phases produce are appended in
+// the given object order, so the resulting log is deterministic — and
+// identical at every parallelism (see RestartConfig).
 func RestartAll(objs []history.ObjectID, machineFor func(history.ObjectID) adt.Machine,
 	log *wal.Log) (map[history.ObjectID]*UndoLog, error) {
 	out, _, err := RestartAllWithCheckpoint(objs, machineFor, log, nil)
@@ -126,10 +251,28 @@ func RestartAll(objs []history.ObjectID, machineFor func(history.ObjectID) adt.M
 // record past the checkpoint frontier, and any transaction wholly decided
 // before the frontier is already folded into the captured states.
 //
-// The returned stats separate bounded work (Replayed) from skipped prefix
-// records and report the seeding volume — the measured quantities of E17.
+// Restart parallelism defaults to GOMAXPROCS; use RestartAllWithConfig to
+// pin it. The returned stats separate bounded work (Replayed) from skipped
+// prefix records, report the seeding volume, and carry the per-worker and
+// per-pass breakdown of E18.
 func RestartAllWithCheckpoint(objs []history.ObjectID, machineFor func(history.ObjectID) adt.Machine,
 	log *wal.Log, ckpt *checkpoint.Snapshot) (map[history.ObjectID]*UndoLog, RestartStats, error) {
+	return RestartAllWithConfig(objs, machineFor, log, ckpt, RestartConfig{})
+}
+
+// RestartAllWithConfig is the fully parameterized restart. Pass 1's winner
+// scan fans out one goroutine per durable log segment (see
+// wal.Log.SegmentBounds; unsegmented backends scan in even chunks), and
+// pass 2 runs a pool of cfg.Parallelism workers, each object hashed to one
+// worker — an object's records replay on exactly one goroutine, in LSN
+// order, so per-object ordering needs no synchronization at all (the same
+// argument that makes the live engine's sharded registry safe). Undo-phase
+// appends are collected per object and written after the pool joins, in
+// object order: the recovered state, winner set, appended records, and
+// aggregate stats are bit-identical at every parallelism.
+func RestartAllWithConfig(objs []history.ObjectID, machineFor func(history.ObjectID) adt.Machine,
+	log *wal.Log, ckpt *checkpoint.Snapshot, cfg RestartConfig) (map[history.ObjectID]*UndoLog, RestartStats, error) {
+	start := time.Now()
 	var stats RestartStats
 	if ckpt == nil && log.Base() > 0 {
 		// A truncated log is only replayable from the checkpoint that
@@ -144,32 +287,108 @@ func RestartAllWithCheckpoint(objs []history.ObjectID, machineFor func(history.O
 		return nil, stats, fmt.Errorf("recovery: log truncated to base %d past checkpoint %s frontier %d",
 			log.Base(), ckpt.ID, ckpt.Frontier)
 	}
+	p := cfg.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	p = stripepkg.RoundPow2(p, stripepkg.MaxStripes)
+
+	// Pass 1: partitioned winner scan over the consistent log snapshot.
+	bounds := log.SegmentBounds()
 	snap := log.Snapshot()
 	stats.LogRecords = len(snap)
-	winners := Winners(snap)
+	pass1 := time.Now()
+	winners, parts := winnersParallel(snap, bounds, p)
+	stats.Pass1NS = time.Since(pass1).Nanoseconds()
+	stats.Segments = parts
+
 	seeds := make(map[history.ObjectID]*checkpoint.ObjectSnapshot)
 	if ckpt != nil {
 		for i := range ckpt.Objects {
 			seeds[ckpt.Objects[i].Obj] = &ckpt.Objects[i]
 		}
 	}
-	out := make(map[history.ObjectID]*UndoLog, len(objs))
-	for _, obj := range objs {
-		st, err := restartWith(obj, machineFor(obj), log, snap, winners, seeds[obj], &stats)
-		if err != nil {
-			return nil, stats, fmt.Errorf("recovery: restart %s: %w", obj, err)
-		}
-		out[obj] = st
+
+	// Pass 2: hash each object to one worker; every worker replays its
+	// objects (in the caller's object order) with a private stats block,
+	// writing results and undo tails into per-object slots.
+	stats.Parallelism = p
+	mask := uint32(p - 1)
+	buckets := make([][]int, p) // worker -> indices into objs, ascending
+	for i, obj := range objs {
+		w := stripepkg.FNV32a(string(obj)) & mask
+		buckets[w] = append(buckets[w], i)
 	}
+	stores := make([]*UndoLog, len(objs))
+	tails := make([][]wal.Record, len(objs))
+	errs := make([]error, len(objs))
+	workerStats := make([]RestartStats, p)
+	pass2 := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		if len(buckets[w]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, i := range buckets[w] {
+				obj := objs[i]
+				st, tail, err := restartWith(obj, machineFor(obj), log, snap, winners, seeds[obj], &workerStats[w])
+				if err != nil {
+					errs[i] = fmt.Errorf("recovery: restart %s: %w", obj, err)
+					return
+				}
+				stores[i], tails[i] = st, tail
+			}
+		}(w)
+	}
+	wg.Wait()
+	stats.Pass2NS = time.Since(pass2).Nanoseconds()
+
+	// Merge per-worker counters deterministically (worker order) and
+	// surface the first error in object order.
+	stats.PerWorker = make([]WorkerStats, p)
+	for w := 0; w < p; w++ {
+		ws := &workerStats[w]
+		stats.PerWorker[w] = WorkerStats{
+			Objects:  len(buckets[w]),
+			Replayed: ws.Replayed,
+			Skipped:  ws.Skipped,
+			Undone:   ws.Undone,
+		}
+		stats.Replayed += ws.Replayed
+		stats.Skipped += ws.Skipped
+		stats.SeededObjects += ws.SeededObjects
+		stats.SeededTxns += ws.SeededTxns
+		stats.Undone += ws.Undone
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, stats, err
+		}
+	}
+
+	// Undo tails are appended only now, in object order: identical log
+	// contents at every parallelism.
+	out := make(map[history.ObjectID]*UndoLog, len(objs))
+	for i, obj := range objs {
+		appendTail(log, tails[i])
+		out[obj] = stores[i]
+	}
+	stats.WallNS = time.Since(start).Nanoseconds()
 	return out, stats, nil
 }
 
 // restartWith is pass 2 of Restart against a pre-scanned log snapshot and
 // winner set (so multi-object callers can share pass 1), optionally seeded
-// from one object's checkpoint capture.
+// from one object's checkpoint capture. It never appends to the log
+// itself — the undo phase's compensation and abort records are returned as
+// a tail for the caller to append in a deterministic order (restart
+// workers run concurrently; their tails must not interleave).
 func restartWith(obj history.ObjectID, m adt.Machine, log *wal.Log,
 	snap []wal.Record, winners map[history.TxnID]bool,
-	seed *checkpoint.ObjectSnapshot, stats *RestartStats) (*UndoLog, error) {
+	seed *checkpoint.ObjectSnapshot, stats *RestartStats) (*UndoLog, []wal.Record, error) {
 	type txnInfo struct {
 		aborted bool
 		// pending holds applied-but-not-compensated update records, in
@@ -198,12 +417,12 @@ func restartWith(obj history.ObjectID, m adt.Machine, log *wal.Log,
 	if seed != nil {
 		vc, ok := m.(adt.ValueCodec)
 		if !ok {
-			return nil, fmt.Errorf("recovery: restart %s: machine %s has no value codec for checkpoint state",
+			return nil, nil, fmt.Errorf("recovery: restart %s: machine %s has no value codec for checkpoint state",
 				obj, m.Name())
 		}
 		v, err := vc.DecodeValue(seed.State)
 		if err != nil {
-			return nil, fmt.Errorf("recovery: restart %s: checkpoint state: %w", obj, err)
+			return nil, nil, fmt.Errorf("recovery: restart %s: checkpoint state: %w", obj, err)
 		}
 		state = v
 		markerLSN = seed.MarkerLSN
@@ -216,12 +435,12 @@ func restartWith(obj history.ObjectID, m adt.Machine, log *wal.Log,
 				if po.HasUndo {
 					c, ok := m.(adt.UndoTokenCodec)
 					if !ok {
-						return nil, fmt.Errorf("recovery: restart %s: machine %s has no undo token codec",
+						return nil, nil, fmt.Errorf("recovery: restart %s: machine %s has no undo token codec",
 							obj, m.Name())
 					}
 					dec, err := c.DecodeUndoToken(po.Undo)
 					if err != nil {
-						return nil, fmt.Errorf("recovery: restart %s: checkpoint undo token of %s: %w",
+						return nil, nil, fmt.Errorf("recovery: restart %s: checkpoint undo token of %s: %w",
 							obj, at.Txn, err)
 					}
 					before = dec
@@ -270,10 +489,10 @@ func restartWith(obj history.ObjectID, m adt.Machine, log *wal.Log,
 		case wal.Update:
 			res, next, err := m.Apply(state, rec.Op.Inv)
 			if err != nil {
-				return nil, fmt.Errorf("recovery: restart redo LSN %d: %w", rec.LSN, err)
+				return nil, nil, fmt.Errorf("recovery: restart redo LSN %d: %w", rec.LSN, err)
 			}
 			if res != rec.Op.Res {
-				return nil, fmt.Errorf("recovery: restart redo LSN %d: operation %s replayed with response %q",
+				return nil, nil, fmt.Errorf("recovery: restart redo LSN %d: operation %s replayed with response %q",
 					rec.LSN, rec.Op, res)
 			}
 			state = next
@@ -281,28 +500,28 @@ func restartWith(obj history.ObjectID, m adt.Machine, log *wal.Log,
 			if enc, ok := before.(wal.EncodedUndo); ok {
 				c, ok := m.(adt.UndoTokenCodec)
 				if !ok {
-					return nil, fmt.Errorf("recovery: restart LSN %d: machine %s has no undo token codec",
+					return nil, nil, fmt.Errorf("recovery: restart LSN %d: machine %s has no undo token codec",
 						rec.LSN, m.Name())
 				}
 				dec, err := c.DecodeUndoToken(string(enc))
 				if err != nil {
-					return nil, fmt.Errorf("recovery: restart LSN %d: %w", rec.LSN, err)
+					return nil, nil, fmt.Errorf("recovery: restart LSN %d: %w", rec.LSN, err)
 				}
 				before = dec
 			}
 			ti.pending = append(ti.pending, undoRec{op: rec.Op, before: before})
 		case wal.CompensationRec:
 			if len(ti.pending) == 0 {
-				return nil, fmt.Errorf("recovery: restart LSN %d: compensation with no pending update for %s",
+				return nil, nil, fmt.Errorf("recovery: restart LSN %d: compensation with no pending update for %s",
 					rec.LSN, rec.Txn)
 			}
 			last := ti.pending[len(ti.pending)-1]
 			if last.op != rec.Op {
-				return nil, fmt.Errorf("recovery: restart LSN %d: compensation order mismatch (%s vs %s)",
+				return nil, nil, fmt.Errorf("recovery: restart LSN %d: compensation order mismatch (%s vs %s)",
 					rec.LSN, last.op, rec.Op)
 			}
 			if err := undoOne(last); err != nil {
-				return nil, fmt.Errorf("recovery: restart LSN %d: %w", rec.LSN, err)
+				return nil, nil, fmt.Errorf("recovery: restart LSN %d: %w", rec.LSN, err)
 			}
 			ti.pending = ti.pending[:len(ti.pending)-1]
 		case wal.CommitRec:
@@ -317,18 +536,19 @@ func restartWith(obj history.ObjectID, m adt.Machine, log *wal.Log,
 		case wal.AbortRec:
 			ti.aborted = true
 			if len(ti.pending) != 0 {
-				return nil, fmt.Errorf("recovery: restart: abort record for %s with %d un-compensated updates",
+				return nil, nil, fmt.Errorf("recovery: restart: abort record for %s with %d un-compensated updates",
 					rec.Txn, len(ti.pending))
 			}
 		}
 	}
 
-	// Pass 2, undo: roll back the losers, logging compensation as live
-	// abort would. Deterministic order: by transaction ID. A loser whose
-	// updates were all compensated before the crash (the abort flush died
-	// after the last CLR but before the abort record) has nothing left to
-	// undo but is still terminated with an abort record, so the next
+	// Pass 2, undo: roll back the losers, producing compensation records as
+	// live abort would. Deterministic order: by transaction ID. A loser
+	// whose updates were all compensated before the crash (the abort flush
+	// died after the last CLR but before the abort record) has nothing left
+	// to undo but is still terminated with an abort record, so the next
 	// restart sees it closed.
+	var tail []wal.Record
 	var losers []history.TxnID
 	for t, ti := range txns {
 		if !winners[t] && !ti.aborted {
@@ -341,12 +561,12 @@ func restartWith(obj history.ObjectID, m adt.Machine, log *wal.Log,
 		for i := len(ti.pending) - 1; i >= 0; i-- {
 			r := ti.pending[i]
 			if err := undoOne(r); err != nil {
-				return nil, fmt.Errorf("recovery: restart undo of loser %s: %w", t, err)
+				return nil, nil, fmt.Errorf("recovery: restart undo of loser %s: %w", t, err)
 			}
 			stats.Undone++
-			log.Append(wal.Record{Kind: wal.CompensationRec, Txn: t, Obj: obj, Op: r.op})
+			tail = append(tail, wal.Record{Kind: wal.CompensationRec, Txn: t, Obj: obj, Op: r.op})
 		}
-		log.Append(wal.Record{Kind: wal.AbortRec, Txn: t, Obj: obj})
+		tail = append(tail, wal.Record{Kind: wal.AbortRec, Txn: t, Obj: obj})
 	}
 
 	return &UndoLog{
@@ -355,7 +575,7 @@ func restartWith(obj history.ObjectID, m adt.Machine, log *wal.Log,
 		current: state,
 		log:     log,
 		chain:   make(map[history.TxnID][]undoRec),
-	}, nil
+	}, tail, nil
 }
 
 func sortTxnIDs(ids []history.TxnID) {

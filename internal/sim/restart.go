@@ -1,0 +1,338 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"repro/internal/adt"
+	"repro/internal/checkpoint"
+	"repro/internal/history"
+	"repro/internal/recovery"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// RestartSweepConfig parameterizes the segmented-restart experiment (E18):
+// the checkpointed fan-out transfer workload runs once per backend arm —
+// the legacy single-file WAL (rewrite-based truncation) and the segmented
+// WAL at each configured rotation threshold (unlink-based truncation) —
+// and each arm's durable artifacts are then crash-restarted at every
+// configured parallelism. The workload phase measures what truncation
+// costs (bytes rewritten versus segments unlinked); the restart phase
+// measures how the two-pass recovery distributes across segment-partition
+// scanners (pass 1) and hashed object workers (pass 2). The recovered
+// state is bit-identical at every parallelism (proven by the recovery
+// package's equivalence test); the sweep reports the conservation bit as
+// the per-point correctness check.
+type RestartSweepConfig struct {
+	TransferConfig
+	// EveryTxns is the checkpoint cadence in transactions per worker; one
+	// fuzzy checkpoint (with log truncation) runs after every round except
+	// the last, exactly as in E17.
+	EveryTxns int
+	// Length is the total transactions per worker for the workload phase.
+	Length int
+	// SegmentBytes lists the segmented backend's rotation thresholds to
+	// sweep — one arm per value, alongside the single-file arm.
+	SegmentBytes []int64
+	// Parallelisms lists the restart pool sizes to sweep per arm.
+	// Parallelism 1 is the sequential baseline.
+	Parallelisms []int
+}
+
+// DefaultRestartSweepConfig sweeps the three-participant transfer workload
+// over the single-file arm plus two segment sizes, restarting each at
+// parallelism 1, 2, and 4.
+func DefaultRestartSweepConfig() RestartSweepConfig {
+	cfg := RestartSweepConfig{
+		TransferConfig: DefaultTransferConfig(),
+		EveryTxns:      25,
+		Length:         150,
+		SegmentBytes:   []int64{1 << 10, 4 << 10},
+		Parallelisms:   []int{1, 2, 4},
+	}
+	cfg.Participants = 3
+	cfg.AbortPct = 10
+	return cfg
+}
+
+// RestartPoint is one measured (backend arm, parallelism) cell.
+type RestartPoint struct {
+	Backend      string `json:"backend"` // "file" or "seg"
+	SegmentBytes int64  `json:"segment_bytes,omitempty"`
+	Parallelism  int    `json:"parallelism"`
+	Commits      int64  `json:"commits"`
+	Checkpoints  int64  `json:"checkpoints"`
+	// TruncatedRecords and the Trunc* fields describe the workload phase's
+	// log-reclamation cost (wal.TruncateStats accumulated across every
+	// checkpoint): the single-file arm rewrites the surviving suffix on
+	// every truncation, the segmented arm rewrites nothing and unlinks
+	// whole dead segments instead.
+	TruncatedRecords      int64   `json:"truncated_records"`
+	TruncBytesRewritten   int64   `json:"truncate_bytes_rewritten"`
+	TruncSegmentsUnlinked int     `json:"truncate_segments_unlinked"`
+	TruncUS               float64 `json:"truncate_us"`
+	// LogRecords / LogBytes describe the retained durable log the restart
+	// reads; Segments is the partition count pass 1's winner scan fanned
+	// out over (1 for the single-file arm).
+	LogRecords int   `json:"log_records"`
+	LogBytes   int64 `json:"log_bytes"`
+	Segments   int   `json:"segments"`
+	// Pass-2 work (recovery.RestartStats): WorkerReplayed is each pool
+	// worker's replayed-record share — the machine-independent signal that
+	// the replay actually distributed.
+	ReplayedRecords int     `json:"replayed_records"`
+	SkippedRecords  int     `json:"skipped_records"`
+	UndoneRecords   int     `json:"undone_records"`
+	SeededObjects   int     `json:"seeded_objects"`
+	WorkerReplayed  []int   `json:"worker_replayed"`
+	Pass1US         float64 `json:"pass1_us"`
+	Pass2US         float64 `json:"pass2_us"`
+	RestartUS       float64 `json:"restart_us"`
+	// Conserved reports the recovered accounts summing to the initial
+	// total.
+	Conserved bool `json:"conserved"`
+}
+
+// restartArm is one backend variant of the sweep.
+type restartArm struct {
+	name     string
+	single   bool
+	segBytes int64
+}
+
+func (a restartArm) dirName() string {
+	if a.single {
+		return "file"
+	}
+	return fmt.Sprintf("seg-%d", a.segBytes)
+}
+
+// runRestartArm runs the checkpointed workload once under arm's backend,
+// then crash-restarts the durable artifacts at every parallelism. Restart
+// appends loser compensation records to the log it recovers, so each
+// parallelism variant restarts a fresh copy of the WAL directory; the
+// checkpoint store is read-only during restart and is shared.
+func runRestartArm(cfg RestartSweepConfig, arm restartArm, dir string) ([]RestartPoint, error) {
+	d := txn.DurabilityOptions{
+		Dir:           filepath.Join(dir, arm.dirName()),
+		SingleFile:    arm.single,
+		SegmentBytes:  arm.segBytes,
+		BatchInterval: 50 * time.Microsecond,
+	}
+	e, err := txn.NewDurableEngine(txn.Options{Shards: cfg.Shards}, d)
+	if err != nil {
+		return nil, err
+	}
+	ba := cfg.BankAccount()
+	rel := adt.DefaultBankAccount().NRBC()
+	for i := 0; i < cfg.Accounts; i++ {
+		e.MustRegister(TransferAccountID(i), ba, rel, txn.UndoLogRecovery)
+	}
+	every := cfg.EveryTxns
+	if every < 1 {
+		every = cfg.Length
+	}
+	for done, r := 0, 0; done < cfg.Length; r++ {
+		per := every
+		if cfg.Length-done < per {
+			per = cfg.Length - done
+		}
+		c := cfg.TransferConfig
+		c.TxnsPerWorker = per
+		c.Seed = cfg.Seed + int64(r)*104729
+		RunTransfers(e, c)
+		done += per
+		if done < cfg.Length {
+			if _, err := e.Checkpoint(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	base := RestartPoint{Backend: arm.name, SegmentBytes: arm.segBytes}
+	base.Commits = e.Metrics.Commits.Load()
+	base.Checkpoints = e.Metrics.Checkpoints.Load()
+	base.TruncatedRecords = e.Metrics.TruncatedRecords.Load()
+	ts := e.WAL().TruncateStats()
+	base.TruncBytesRewritten = ts.BytesRewritten
+	base.TruncSegmentsUnlinked = ts.SegmentsUnlinked
+	base.TruncUS = float64(ts.WallNS) / 1e3
+	if err := e.Close(); err != nil {
+		return nil, err
+	}
+	// The cost claim the segmented backend exists for: truncation must
+	// reclaim by unlinking dead segments, never by rewriting live data.
+	if !arm.single && base.TruncBytesRewritten != 0 {
+		return nil, fmt.Errorf("sim: segmented arm rewrote %d bytes during truncation", base.TruncBytesRewritten)
+	}
+	if !arm.single && base.Checkpoints > 0 && base.TruncSegmentsUnlinked == 0 {
+		return nil, fmt.Errorf("sim: segmented arm took %d checkpoints but unlinked no segments (segment size %d too large for the workload?)",
+			base.Checkpoints, arm.segBytes)
+	}
+
+	objs := make([]history.ObjectID, cfg.Accounts)
+	for i := range objs {
+		objs[i] = TransferAccountID(i)
+	}
+	store, err := checkpoint.OpenFileStore(d.CheckpointDir())
+	if err != nil {
+		return nil, err
+	}
+	var out []RestartPoint
+	for _, par := range cfg.Parallelisms {
+		p := base
+		p.Parallelism = par
+		variant := filepath.Join(dir, fmt.Sprintf("%s-p%d", arm.dirName(), par), "wal")
+		if err := copyFlatDir(d.WALDir(), variant); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		var backend wal.Backend
+		if arm.single {
+			backend, err = wal.OpenFileBackend(filepath.Join(variant, "engine.wal"))
+		} else {
+			backend, err = wal.OpenSegmentedBackend(variant, d.SegmentConfig())
+		}
+		if err != nil {
+			return nil, err
+		}
+		relog, err := wal.Open(wal.Config{Backend: backend})
+		if err != nil {
+			return nil, err
+		}
+		// Sample the crash-time log size before restart appends loser
+		// compensation records.
+		p.LogRecords = relog.Records()
+		p.LogBytes = relog.Bytes()
+		snap, err := store.Latest()
+		if err != nil {
+			return nil, err
+		}
+		stores, stats, err := recovery.RestartAllWithConfig(objs,
+			func(history.ObjectID) adt.Machine { return ba.Machine() }, relog, snap,
+			recovery.RestartConfig{Parallelism: par})
+		if err != nil {
+			return nil, err
+		}
+		p.RestartUS = float64(time.Since(start).Nanoseconds()) / 1e3
+		p.Segments = stats.Segments
+		p.ReplayedRecords = stats.Replayed
+		p.SkippedRecords = stats.Skipped
+		p.UndoneRecords = stats.Undone
+		p.SeededObjects = stats.SeededObjects
+		p.WorkerReplayed = make([]int, len(stats.PerWorker))
+		for i, w := range stats.PerWorker {
+			p.WorkerReplayed[i] = w.Replayed
+		}
+		p.Pass1US = float64(stats.Pass1NS) / 1e3
+		p.Pass2US = float64(stats.Pass2NS) / 1e3
+		total := 0
+		for obj, st := range stores {
+			v, err := strconv.Atoi(st.CommittedValue().Encode())
+			if err != nil {
+				return nil, fmt.Errorf("sim: restarted %s balance: %w", obj, err)
+			}
+			total += v
+		}
+		p.Conserved = total == cfg.Accounts*cfg.InitialBalance
+		if err := relog.Close(); err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// RestartSweep runs the full backend-arm × parallelism grid in a
+// temporary directory (or dir, when non-empty).
+func RestartSweep(cfg RestartSweepConfig, dir string) ([]RestartPoint, error) {
+	if dir == "" {
+		d, err := os.MkdirTemp("", "ccbench-restart-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+	arms := []restartArm{{name: "file", single: true}}
+	for _, sb := range cfg.SegmentBytes {
+		arms = append(arms, restartArm{name: "seg", segBytes: sb})
+	}
+	var out []RestartPoint
+	for _, arm := range arms {
+		pts, err := runRestartArm(cfg, arm, dir)
+		if err != nil {
+			return nil, fmt.Errorf("sim: restart sweep %s: %w", arm.dirName(), err)
+		}
+		out = append(out, pts...)
+	}
+	return out, nil
+}
+
+// copyFlatDir copies the regular files of src into dst (created fresh) —
+// a WAL directory holds a flat set of segment files or one log file.
+func copyFlatDir(src, dst string) error {
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	for _, ent := range ents {
+		if !ent.Type().IsRegular() {
+			continue
+		}
+		in, err := os.Open(filepath.Join(src, ent.Name()))
+		if err != nil {
+			return err
+		}
+		out, err := os.Create(filepath.Join(dst, ent.Name()))
+		if err != nil {
+			in.Close()
+			return err
+		}
+		_, cpErr := io.Copy(out, in)
+		in.Close()
+		if err := out.Close(); cpErr == nil {
+			cpErr = err
+		}
+		if cpErr != nil {
+			return cpErr
+		}
+	}
+	return nil
+}
+
+// busyWorkers counts pass-2 workers that replayed at least one record.
+func busyWorkers(p RestartPoint) int {
+	n := 0
+	for _, r := range p.WorkerReplayed {
+		if r > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// RenderRestartTable renders sweep points as a fixed-width table.
+func RenderRestartTable(title string, points []RestartPoint) string {
+	b := fmt.Sprintf("%s\n%-4s %8s %3s %8s %7s %9s %8s %8s %4s %8s %9s %9s %11s %5s\n",
+		title, "wal", "seg(B)", "par", "logrecs", "truncRW", "unlinked",
+		"replayed", "skipped", "segs", "busy/par", "pass1(us)", "pass2(us)", "restart(us)", "cons")
+	for _, p := range points {
+		seg := "-"
+		if p.Backend != "file" {
+			seg = strconv.FormatInt(p.SegmentBytes, 10)
+		}
+		b += fmt.Sprintf("%-4s %8s %3d %8d %7d %9d %8d %8d %4d %5d/%-2d %9.0f %9.0f %11.0f %5v\n",
+			p.Backend, seg, p.Parallelism, p.LogRecords, p.TruncBytesRewritten,
+			p.TruncSegmentsUnlinked, p.ReplayedRecords, p.SkippedRecords, p.Segments,
+			busyWorkers(p), p.Parallelism, p.Pass1US, p.Pass2US, p.RestartUS, p.Conserved)
+	}
+	return b
+}

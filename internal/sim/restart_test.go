@@ -1,0 +1,74 @@
+package sim
+
+import "testing"
+
+// TestRestartSweepQuick runs a small E18 grid end to end and checks the
+// invariants the experiment's numbers are only meaningful under: every
+// point conserves the total, the single-file arm pays rewrite bytes for
+// truncation while the segmented arm pays none (unlinking instead), the
+// segmented arm's pass 1 fans out over multiple partitions, and the
+// pass-2 replay counts are identical at every parallelism within an arm
+// (the work moves between workers; it never changes size).
+func TestRestartSweepQuick(t *testing.T) {
+	cfg := DefaultRestartSweepConfig()
+	cfg.Length = 60
+	cfg.EveryTxns = 20
+	cfg.SegmentBytes = []int64{1 << 10}
+	cfg.Parallelisms = []int{1, 2}
+	pts, err := RestartSweep(cfg, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * len(cfg.Parallelisms); len(pts) != want {
+		t.Fatalf("got %d points, want %d", len(pts), want)
+	}
+	replayed := map[string]int{}
+	for _, p := range pts {
+		if !p.Conserved {
+			t.Errorf("%s/p%d: total not conserved", p.Backend, p.Parallelism)
+		}
+		if p.Checkpoints == 0 || p.TruncatedRecords == 0 {
+			t.Errorf("%s/p%d: workload took no effective checkpoints (ckpts=%d truncated=%d)",
+				p.Backend, p.Parallelism, p.Checkpoints, p.TruncatedRecords)
+		}
+		switch p.Backend {
+		case "file":
+			if p.TruncBytesRewritten == 0 {
+				t.Errorf("file/p%d: single-file truncation rewrote no bytes", p.Parallelism)
+			}
+			if p.TruncSegmentsUnlinked != 0 {
+				t.Errorf("file/p%d: single-file truncation unlinked %d segments", p.Parallelism, p.TruncSegmentsUnlinked)
+			}
+		case "seg":
+			if p.TruncBytesRewritten != 0 {
+				t.Errorf("seg/p%d: segmented truncation rewrote %d bytes", p.Parallelism, p.TruncBytesRewritten)
+			}
+			if p.TruncSegmentsUnlinked == 0 {
+				t.Errorf("seg/p%d: segmented truncation unlinked no segments", p.Parallelism)
+			}
+			if p.Segments < 2 {
+				t.Errorf("seg/p%d: pass 1 saw %d partitions, want >=2", p.Parallelism, p.Segments)
+			}
+		}
+		if len(p.WorkerReplayed) != p.Parallelism {
+			t.Errorf("%s/p%d: %d per-worker slots", p.Backend, p.Parallelism, len(p.WorkerReplayed))
+		}
+		sum := 0
+		for _, r := range p.WorkerReplayed {
+			sum += r
+		}
+		if sum != p.ReplayedRecords {
+			t.Errorf("%s/p%d: per-worker replayed sums to %d, aggregate %d",
+				p.Backend, p.Parallelism, sum, p.ReplayedRecords)
+		}
+		if p.Parallelism > 1 && busyWorkers(p) < 2 {
+			t.Errorf("%s/p%d: replay did not distribute (busy workers %d)",
+				p.Backend, p.Parallelism, busyWorkers(p))
+		}
+		if prev, ok := replayed[p.Backend]; ok && prev != p.ReplayedRecords {
+			t.Errorf("%s: replayed count varies with parallelism (%d vs %d)",
+				p.Backend, prev, p.ReplayedRecords)
+		}
+		replayed[p.Backend] = p.ReplayedRecords
+	}
+}

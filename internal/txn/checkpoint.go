@@ -178,6 +178,14 @@ func (e *Engine) Checkpoint() (*checkpoint.Snapshot, error) {
 			Obj: c.obj, MarkerLSN: lsn, State: c.state, Active: c.active,
 		})
 	}
+	if !e.opts.Checkpoint.DisableTruncation {
+		// Record the truncation point the log will actually realize — the
+		// frontier clamped to the durable watermark and aligned to the
+		// backend's boundary (segment starts, for the segmented backend) —
+		// so the durable snapshot names the exact first LSN of the
+		// post-truncation log.
+		snap.TruncatedBefore = e.log.AlignTruncate(frontier)
+	}
 	if err := e.opts.Checkpoint.Store.Save(snap); err != nil {
 		return nil, fmt.Errorf("txn: checkpoint %s: save: %w", id, err)
 	}

@@ -39,9 +39,12 @@ type Replayer interface {
 // call must be atomic with respect to crashes (a crash mid-truncation
 // leaves either the old log or the truncated log, never a torn mix), which
 // the file backend provides by rewriting into a temporary file and
-// renaming it over the log.
+// renaming it over the log, and the segmented backend by unlinking whole
+// segments. The returned TruncateStats expose the storage cost of the
+// operation (rewrite bytes vs segments unlinked) so the two strategies can
+// be compared directly; Log.TruncateBefore accumulates them.
 type Truncator interface {
-	TruncateBefore(lsn LSN) error
+	TruncateBefore(lsn LSN) (TruncateStats, error)
 }
 
 // EncodedUndo is an undo token in its durable string form. Producers that
@@ -209,27 +212,36 @@ func (b *FileBackend) Sync(records []Record) error {
 // a crash at any point leaves a file OpenFileBackend can scan (either the
 // old log or the complete truncated one), never a torn mix. The Log layer
 // guarantees lsn never exceeds the durable watermark plus one, so every
-// record the rewrite is asked to keep is present in the file.
-func (b *FileBackend) TruncateBefore(lsn LSN) error {
+// record the rewrite is asked to keep is present in the file. The returned
+// stats record the rewrite cost — every surviving byte is copied, the
+// O(log bytes) price the segmented backend's unlink-based truncation
+// avoids.
+func (b *FileBackend) TruncateBefore(lsn LSN) (TruncateStats, error) {
+	start := time.Now()
+	var stats TruncateStats
+	done := func(err error) (TruncateStats, error) {
+		stats.WallNS = time.Since(start).Nanoseconds()
+		return stats, err
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
-		return fmt.Errorf("wal: truncate on closed file backend %s", b.path)
+		return done(fmt.Errorf("wal: truncate on closed file backend %s", b.path))
 	}
 	recs, _, err := scanFileLog(b.f)
 	// Restore the append position immediately: the scan moved the shared
 	// offset, and any early-error return below must leave the handle ready
 	// for the next Sync.
 	if _, serr := b.f.Seek(0, io.SeekEnd); serr != nil {
-		return fmt.Errorf("wal: truncate %s: %w", b.path, serr)
+		return done(fmt.Errorf("wal: truncate %s: %w", b.path, serr))
 	}
 	if err != nil {
-		return fmt.Errorf("wal: truncate %s: %w", b.path, err)
+		return done(fmt.Errorf("wal: truncate %s: %w", b.path, err))
 	}
 	tmp := b.path + ".truncating"
 	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
-		return fmt.Errorf("wal: truncate %s: %w", b.path, err)
+		return done(fmt.Errorf("wal: truncate %s: %w", b.path, err))
 	}
 	var suffix strings.Builder
 	for _, r := range recs {
@@ -240,24 +252,25 @@ func (b *FileBackend) TruncateBefore(lsn LSN) error {
 		if err != nil {
 			f.Close()
 			os.Remove(tmp)
-			return fmt.Errorf("wal: truncate %s: %w", b.path, err)
+			return done(fmt.Errorf("wal: truncate %s: %w", b.path, err))
 		}
 		suffix.WriteString(line)
 	}
 	if _, err := f.WriteString(suffix.String()); err != nil {
 		f.Close()
 		os.Remove(tmp)
-		return fmt.Errorf("wal: truncate %s: %w", b.path, err)
+		return done(fmt.Errorf("wal: truncate %s: %w", b.path, err))
 	}
+	stats.BytesRewritten = int64(suffix.Len())
 	if err := f.Sync(); err != nil {
 		f.Close()
 		os.Remove(tmp)
-		return fmt.Errorf("wal: truncate %s: %w", b.path, err)
+		return done(fmt.Errorf("wal: truncate %s: %w", b.path, err))
 	}
 	if err := os.Rename(tmp, b.path); err != nil {
 		f.Close()
 		os.Remove(tmp)
-		return fmt.Errorf("wal: truncate %s: %w", b.path, err)
+		return done(fmt.Errorf("wal: truncate %s: %w", b.path, err))
 	}
 	// Make the rename durable before any further Sync acks against the new
 	// inode: without the directory fsync a crash could resurrect the old
@@ -267,7 +280,7 @@ func (b *FileBackend) TruncateBefore(lsn LSN) error {
 		f.Close()
 		b.f = f
 		b.closed = true
-		return fmt.Errorf("wal: truncate %s: directory sync (backend now closed): %w", b.path, err)
+		return done(fmt.Errorf("wal: truncate %s: directory sync (backend now closed): %w", b.path, err))
 	}
 	// The old handle now points at the unlinked pre-truncation inode; swap
 	// it for the renamed file, positioned to append. The rename is already
@@ -280,10 +293,10 @@ func (b *FileBackend) TruncateBefore(lsn LSN) error {
 		f.Close()
 		b.f = f
 		b.closed = true
-		return fmt.Errorf("wal: truncate %s: positioning renamed log (backend now closed): %w", b.path, err)
+		return done(fmt.Errorf("wal: truncate %s: positioning renamed log (backend now closed): %w", b.path, err))
 	}
 	b.f = f
-	return nil
+	return done(nil)
 }
 
 // syncDir fsyncs a directory, making a rename inside it durable.

@@ -242,6 +242,9 @@ type Log struct {
 	bytes   int64
 	lastOf  map[history.TxnID]LSN
 	syncErr error // first backend failure, under mu
+	// truncStats accumulates the backend truncation cost across the log's
+	// lifetime (under flushMu, like the backend calls that produce it).
+	truncStats TruncateStats
 
 	// The durable watermark (under mu): the stage ticket and LSN of the
 	// last record the backend acknowledged. Because batches are consistent
@@ -845,6 +848,13 @@ func (l *Log) Snapshot() []Record {
 // (CrashPoint), only the in-memory prefix is dropped — a dead machine
 // cannot rewrite its file, and the sticky-error/crash contracts already
 // freeze or fake the watermark accordingly.
+//
+// A backend that can only truncate at certain boundaries (the segmented
+// backend truncates at segment starts) implements TruncateAligner; the
+// requested point is aligned down to the backend's boundary before
+// anything is dropped, so the retained in-memory log and the durable log
+// stay byte-for-byte in agreement and a reopen replays exactly what the
+// live log retained.
 func (l *Log) TruncateBefore(lsn LSN) (int, error) {
 	// flushMu orders the truncation against batch sequencing (no new LSNs
 	// are assigned mid-truncate) and serializes the backend rewrite against
@@ -856,6 +866,13 @@ func (l *Log) TruncateBefore(lsn LSN) (int, error) {
 	if maxPoint := l.durableLSN + 1; lsn > maxPoint {
 		lsn = maxPoint
 	}
+	l.mu.Unlock()
+	if !skipBackend {
+		if al, ok := l.backend.(TruncateAligner); ok {
+			lsn = al.AlignTruncate(lsn)
+		}
+	}
+	l.mu.Lock()
 	if lsn <= l.base+1 {
 		l.mu.Unlock()
 		return 0, nil
@@ -870,12 +887,53 @@ func (l *Log) TruncateBefore(lsn LSN) (int, error) {
 	l.mu.Unlock()
 	if !skipBackend {
 		if tr, ok := l.backend.(Truncator); ok {
-			if err := tr.TruncateBefore(lsn); err != nil {
+			stats, err := tr.TruncateBefore(lsn)
+			l.truncStats.Add(stats)
+			if err != nil {
 				return n, fmt.Errorf("wal: truncate backend before %d: %w", lsn, err)
 			}
 		}
 	}
 	return n, nil
+}
+
+// AlignTruncate returns the truncation point the backend would realize for
+// a TruncateBefore(lsn): the durable-watermark clamp followed by the
+// backend's boundary alignment (segment starts, for the segmented
+// backend). Checkpointing records this value so the durable snapshot names
+// the exact durable truncation point.
+func (l *Log) AlignTruncate(lsn LSN) LSN {
+	l.mu.Lock()
+	if maxPoint := l.durableLSN + 1; lsn > maxPoint {
+		lsn = maxPoint
+	}
+	l.mu.Unlock()
+	if al, ok := l.backend.(TruncateAligner); ok {
+		return al.AlignTruncate(lsn)
+	}
+	return lsn
+}
+
+// TruncateStats returns the accumulated backend truncation cost across
+// every TruncateBefore since Open — the rewrite-bytes-vs-unlinked-segments
+// comparison the restart experiment reports.
+func (l *Log) TruncateStats() TruncateStats {
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+	return l.truncStats
+}
+
+// SegmentBounds returns the first LSN of each durable segment in ascending
+// order when the backend is segmented (see Segmenter), or nil for
+// unsegmented backends. Parallel restart partitions its pass-1 winner scan
+// on these boundaries. Staged records are flushed first so the bounds
+// cover everything sequenced.
+func (l *Log) SegmentBounds() []LSN {
+	l.Flush()
+	if sg, ok := l.backend.(Segmenter); ok {
+		return sg.SegmentStarts()
+	}
+	return nil
 }
 
 // approxRecordSize estimates a record's encoded size (fixed framing plus
