@@ -9,18 +9,20 @@
 // sweep (release policy × sync latency × contention skew — the measured
 // cost of commit-ordered lock release), and the checkpointed-restart
 // sweep (restart time and replayed-record count versus log length with
-// fuzzy checkpointing off/on), and the segmented-restart sweep (truncation
+// fuzzy checkpointing off/on), the segmented-restart sweep (truncation
 // cost and parallel two-pass restart across WAL backend × segment size ×
-// restart parallelism).
+// restart parallelism), and the logging-discipline sweep (log bytes per
+// commit, commit hold, and restart work under undo logging versus
+// REDO-only dependency logging, per WAL backend).
 //
 // Usage:
 //
 //	ccbench                            # full suite at default sizes
 //	ccbench -quick                     # reduced sizes
-//	ccbench -experiment mass           # one of: mass, banking, pool, recovery, scaling, flush, release, checkpoint, restart
+//	ccbench -experiment mass           # one of: mass, banking, pool, recovery, scaling, flush, release, checkpoint, restart, redo
 //	ccbench -experiment scaling,flush  # a comma-separated subset
 //	ccbench -shards 8                  # fix the engine shard count (0 = sweep 1..16)
-//	ccbench -json                      # also write BENCH_engine.json (scaling/flush/release/checkpoint/restart points)
+//	ccbench -json                      # also write BENCH_engine.json (scaling/flush/release/checkpoint/restart/redo points)
 package main
 
 import (
@@ -64,6 +66,7 @@ var experimentOrder = []struct {
 	{"release", releaseExperiment},
 	{"checkpoint", checkpointExperiment},
 	{"restart", restartExperiment},
+	{"redo", redoExperiment},
 }
 
 func experimentNames() string {
@@ -83,6 +86,7 @@ type benchDoc struct {
 	Release    []sim.ReleasePoint    `json:"release,omitempty"`
 	Checkpoint []sim.CheckpointPoint `json:"checkpoint,omitempty"`
 	Restart    []sim.RestartPoint    `json:"restart,omitempty"`
+	Redo       []sim.RedoPoint       `json:"redo,omitempty"`
 }
 
 var benchOut benchDoc
@@ -173,6 +177,40 @@ func sortedKeys(m map[string]json.RawMessage) []string {
 	}
 	sort.Strings(keys)
 	return keys
+}
+
+// redoExperiment measures the logging-discipline trade-off (E19): the
+// three-participant transfer workload runs once per discipline × WAL
+// backend arm — undo logging (the recovery half of update-in-place)
+// versus REDO-only dependency logging (logging like deferred update:
+// logical operation records with no undo payload, dependency sets on the
+// commit records, aborts logging nothing) — then each arm's durable
+// artifacts are crash-restarted. Wall-clock columns on a 1-vCPU box are
+// ordinal only; the machine-independent signals are log bytes per commit
+// (RedoSweep hard-errors if the redo arm's ever reaches the undo arm's),
+// the replayed/undone record counts (redo replays the winners-only
+// projection and undoes nothing), and the dependency-set volume.
+func redoExperiment(quick bool) {
+	cfg := sim.DefaultRedoSweepConfig()
+	if quick {
+		cfg.Length = 40
+	}
+	pts, err := sim.RedoSweep(cfg, "")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ccbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(sim.RenderRedoTable(
+		fmt.Sprintf("E19 — logging-discipline sweep, %d accounts, %d workers, %d participants/transfer, %d txns/worker, %d%% voluntary aborts (discipline × WAL backend)",
+			cfg.Accounts, cfg.Workers, cfg.Participants, cfg.Length, cfg.AbortPct), pts))
+	fmt.Println("shape: the redo arm logs fewer bytes per commit — no undo payloads, no")
+	fmt.Println("per-object commit records, no compensation/abort trail — at the price of")
+	fmt.Println("dependency sets on its commit records; its restart replays only the")
+	fmt.Println("winners-only projection (Theorem 9's equieffectiveness) and undoes nothing,")
+	fmt.Println("where the undo arm replays every durable record. Conservation holds in")
+	fmt.Println("every arm.")
+	fmt.Println()
+	benchOut.Redo = pts
 }
 
 // restartExperiment measures the segmented-WAL truncation and parallel-

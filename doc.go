@@ -75,14 +75,32 @@
 // at every parallelism — E18 measures the truncation bill and the replay
 // distribution across backend × segment size × parallelism.
 //
+// Two logging disciplines share those seams (txn.Options.LogDiscipline).
+// The default is undo logging — UIP's recovery half, everything above.
+// wal.DisciplineRedo selects REDO-only dependency logging, the DU-shaped
+// bargain over the same update-in-place execution: the durable log
+// carries logical operation records with no undo payload (wal.RedoRec)
+// plus each winner's commit-order dependency set on its TxnCommitRec,
+// aborts log nothing, and restart (recovery.RestartRedoOnly, dispatched
+// automatically by RestartAllWithConfig from the log's own discipline
+// marker) replays only the winners-only projection forward — no undo
+// pass, nothing appended, sound by Theorem 9's equieffectiveness under
+// an NRBC-containing conflict relation. A log's first record brands its
+// discipline (re-branded past every checkpoint frontier so truncation
+// cannot erase it), and every seam — registration, restart, the
+// record-kind audit, checkpoint agreement — rejects a mixed-discipline
+// handoff loudly. E19 measures the trade: fewer log bytes per commit and
+// winners-only replay, paid for with dependency sets on commit records.
+//
 // The benchmarks in bench_test.go regenerate every table and figure of the
 // paper plus the engine scaling sweep (shards × GOMAXPROCS × operation
 // mix, including a read-mostly variant), the group-commit flush sweep
 // (flusher dwell × sync latency), the lock-release-policy sweep
 // (policy × sync latency × contention skew), the checkpointed-restart
 // sweep (restart cost × log length), and the segmented-restart sweep
-// (backend × segment size × restart parallelism); `ccbench -experiment
-// scaling,flush,release,checkpoint,restart -json` writes them to
-// BENCH_engine.json. See EXPERIMENTS.md for the methodology and the
-// 1-vCPU measurement caveats.
+// (backend × segment size × restart parallelism), and the
+// logging-discipline sweep (undo vs REDO-only × backend); `ccbench
+// -experiment scaling,flush,release,checkpoint,restart,redo -json`
+// writes them to BENCH_engine.json. See EXPERIMENTS.md for the
+// methodology and the 1-vCPU measurement caveats.
 package repro

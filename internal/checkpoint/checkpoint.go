@@ -108,7 +108,12 @@ type Snapshot struct {
 	// reopened log's base always equals the newest snapshot's aligned
 	// point, never the raw frontier.
 	TruncatedBefore wal.LSN          `json:"truncated_before,omitempty"`
-	Objects         []ObjectSnapshot `json:"objects"`
+	// Discipline records the logging discipline of the engine that took the
+	// snapshot (wal.DisciplineRedo for a redo-only engine; empty means undo
+	// logging). Restart rejects a snapshot whose discipline contradicts the
+	// log's marker — a mixed-discipline handoff must fail loudly.
+	Discipline string           `json:"discipline,omitempty"`
+	Objects    []ObjectSnapshot `json:"objects"`
 }
 
 // Object returns the capture for obj, or nil if the snapshot does not

@@ -64,12 +64,27 @@ type Stats struct {
 	Replays       int64 // intentions replays for response computation
 }
 
-// UndoLog is the update-in-place store.
+// UndoLog is the update-in-place store. It operates under one of two
+// logging disciplines:
+//
+//   - undo logging (the default): every update stages a wal.Update record
+//     carrying a durable before-image token, per-object commit/abort/
+//     compensation records are staged, and restart redoes winners then
+//     undoes losers from the logged tokens.
+//
+//   - REDO-only (redoOnly set; see NewRedoOnlyLog): every update stages a
+//     wal.RedoRec carrying the logical operation only — no undo payload —
+//     and commit and abort stage nothing per object. Live abort still
+//     undoes in memory (the in-memory chain keeps raw before tokens), but
+//     the durable log never learns how to undo anything: at restart,
+//     losers are simply never redone (RestartRedoOnly), which is what
+//     makes the discipline sound and what shrinks the log.
 type UndoLog struct {
-	obj     history.ObjectID
-	machine adt.Machine
-	current adt.Value
-	log     *wal.Log
+	obj      history.ObjectID
+	machine  adt.Machine
+	current  adt.Value
+	log      *wal.Log
+	redoOnly bool
 	// chain holds, per active transaction, the undo records in apply order.
 	chain map[history.TxnID][]undoRec
 	stats Stats
@@ -91,6 +106,20 @@ func NewUndoLog(obj history.ObjectID, m adt.Machine, log *wal.Log) *UndoLog {
 		chain:   make(map[history.TxnID][]undoRec),
 	}
 }
+
+// NewRedoOnlyLog builds an update-in-place store under the REDO-only
+// logging discipline: updates stage logical wal.RedoRec records with no
+// undo payload, and commit/abort stage no per-object records at all — the
+// transaction-level TxnCommitRec (with its dependency set) is the only
+// commit-path record. The log must be restarted with RestartRedoOnly.
+func NewRedoOnlyLog(obj history.ObjectID, m adt.Machine, log *wal.Log) *UndoLog {
+	u := NewUndoLog(obj, m, log)
+	u.redoOnly = true
+	return u
+}
+
+// RedoOnly reports whether the store logs under the REDO-only discipline.
+func (u *UndoLog) RedoOnly() bool { return u.redoOnly }
 
 // Kind implements Store.
 func (u *UndoLog) Kind() string { return "undo-log" }
@@ -116,15 +145,24 @@ func (u *UndoLog) Apply(txn history.TxnID, inv spec.Invocation) (spec.Response, 
 	// Encode before mutating anything: an encode failure must leave the
 	// state, the undo chain, and the log untouched, or a later commit or
 	// abort would persist a record stream missing this update and Restart
-	// would diverge from the pre-crash state.
-	logged := before
-	if before != nil {
-		if c, ok := u.machine.(adt.UndoTokenCodec); ok {
-			s, err := c.EncodeUndoToken(before)
-			if err != nil {
-				return "", fmt.Errorf("recovery: encoding undo token for %s: %w", inv, err)
+	// would diverge from the pre-crash state. Under the REDO-only
+	// discipline nothing is encoded: the staged record is the logical
+	// operation alone, and the raw before token lives only in the
+	// in-memory chain (live abort still undoes in place).
+	kind := wal.Update
+	var logged any
+	if u.redoOnly {
+		kind = wal.RedoRec
+	} else {
+		logged = before
+		if before != nil {
+			if c, ok := u.machine.(adt.UndoTokenCodec); ok {
+				s, err := c.EncodeUndoToken(before)
+				if err != nil {
+					return "", fmt.Errorf("recovery: encoding undo token for %s: %w", inv, err)
+				}
+				logged = wal.EncodedUndo(s)
 			}
-			logged = wal.EncodedUndo(s)
 		}
 	}
 	res, next, err := u.machine.Apply(u.current, inv)
@@ -135,7 +173,7 @@ func (u *UndoLog) Apply(txn history.TxnID, inv spec.Invocation) (spec.Response, 
 	// Stage before mutating: a closed log (a commit racing Engine.Close)
 	// must leave the state and the undo chain untouched, so the caller sees
 	// a typed failure with nothing half-applied.
-	if _, err := u.log.AppendAsync(wal.Record{Kind: wal.Update, Txn: txn, Obj: u.obj, Op: op, Undo: logged}); err != nil {
+	if _, err := u.log.AppendAsync(wal.Record{Kind: kind, Txn: txn, Obj: u.obj, Op: op, Undo: logged}); err != nil {
 		return "", fmt.Errorf("recovery: logging %s: %w", op, err)
 	}
 	u.current = next
@@ -150,6 +188,13 @@ func (u *UndoLog) Apply(txn history.TxnID, inv spec.Invocation) (spec.Response, 
 // commits only when the engine's transaction-level wal.TxnCommitRec
 // reaches the backend (recovery is presumed-abort; see Restart).
 func (u *UndoLog) Commit(txn history.TxnID) error {
+	// REDO-only: no per-object record at all — the transaction-level
+	// TxnCommitRec is the commit point and restart has no pending table to
+	// discharge (winners replay in full, losers never replay).
+	if u.redoOnly {
+		delete(u.chain, txn)
+		return nil
+	}
 	// Stage before dropping the chain: if the log is closed the commit
 	// fails with the chain intact, so the engine can still abort the
 	// transaction cleanly.
@@ -163,7 +208,10 @@ func (u *UndoLog) Commit(txn history.TxnID) error {
 // Abort implements Store: walk the undo chain backward applying logical
 // inverses (writing compensation records), then log the abort. Each
 // compensation record is staged before its undo is applied, so a closed
-// log stops the walk with the remaining chain suffix intact.
+// log stops the walk with the remaining chain suffix intact. Under the
+// REDO-only discipline the walk is purely in-memory — no compensation or
+// abort record is staged, because the durable log recovers losers by never
+// redoing them, not by undoing them.
 func (u *UndoLog) Abort(txn history.TxnID) error {
 	recs := u.chain[txn]
 	for i := len(recs) - 1; i >= 0; i-- {
@@ -178,15 +226,20 @@ func (u *UndoLog) Abort(txn history.TxnID) error {
 		if err != nil {
 			return fmt.Errorf("recovery: undo %s for %s: %w", r.op, txn, err)
 		}
-		if _, err := u.log.AppendAsync(wal.Record{Kind: wal.CompensationRec, Txn: txn, Obj: u.obj, Op: r.op}); err != nil {
-			u.chain[txn] = recs[:i+1]
-			return fmt.Errorf("recovery: logging undo of %s for %s: %w", r.op, txn, err)
+		if !u.redoOnly {
+			if _, err := u.log.AppendAsync(wal.Record{Kind: wal.CompensationRec, Txn: txn, Obj: u.obj, Op: r.op}); err != nil {
+				u.chain[txn] = recs[:i+1]
+				return fmt.Errorf("recovery: logging undo of %s for %s: %w", r.op, txn, err)
+			}
 		}
 		u.current = next
 		u.chain[txn] = recs[:i]
 		u.stats.Undos++
 	}
 	delete(u.chain, txn)
+	if u.redoOnly {
+		return nil
+	}
 	if _, err := u.log.AppendAsync(wal.Record{Kind: wal.AbortRec, Txn: txn, Obj: u.obj}); err != nil {
 		return fmt.Errorf("recovery: logging abort of %s: %w", txn, err)
 	}

@@ -206,6 +206,10 @@ func Restart(obj history.ObjectID, m adt.Machine, log *wal.Log) (*UndoLog, error
 		return nil, fmt.Errorf("recovery: restart %s: log truncated to base %d but no checkpoint snapshot supplied",
 			obj, base)
 	}
+	if d := log.Discipline(); d == wal.DisciplineRedo {
+		return nil, fmt.Errorf("recovery: restart %s: log carries the redo-only discipline marker; use RestartRedoOnly",
+			obj)
+	}
 	snap := log.Snapshot()
 	var stats RestartStats
 	st, tail, err := restartWith(obj, m, log, snap, Winners(snap), nil, &stats)
@@ -270,6 +274,13 @@ func RestartAllWithCheckpoint(objs []history.ObjectID, machineFor func(history.O
 // appends are collected per object and written after the pool joins, in
 // object order: the recovered state, winner set, appended records, and
 // aggregate stats are bit-identical at every parallelism.
+//
+// The logging discipline is detected from the log itself: a log carrying
+// the redo-only discipline marker (see wal.DisciplineMarker) restarts via
+// the winners-only forward replay of restartRedoWith; an unmarked log
+// restarts via the redo+undo protocol of restartWith. A log or checkpoint
+// whose contents contradict the detected discipline is rejected before any
+// replay — see checkLogDiscipline.
 func RestartAllWithConfig(objs []history.ObjectID, machineFor func(history.ObjectID) adt.Machine,
 	log *wal.Log, ckpt *checkpoint.Snapshot, cfg RestartConfig) (map[history.ObjectID]*UndoLog, RestartStats, error) {
 	start := time.Now()
@@ -287,6 +298,13 @@ func RestartAllWithConfig(objs []history.ObjectID, machineFor func(history.Objec
 		return nil, stats, fmt.Errorf("recovery: log truncated to base %d past checkpoint %s frontier %d",
 			log.Base(), ckpt.ID, ckpt.Frontier)
 	}
+	redo := log.Discipline() == wal.DisciplineRedo
+	if ckpt != nil {
+		if ckptRedo := ckpt.Discipline == wal.DisciplineRedo; ckptRedo != redo {
+			return nil, stats, fmt.Errorf("recovery: checkpoint %s discipline %q does not match log discipline %q",
+				ckpt.ID, ckpt.Discipline, log.Discipline())
+		}
+	}
 	p := cfg.Parallelism
 	if p <= 0 {
 		p = runtime.GOMAXPROCS(0)
@@ -297,10 +315,23 @@ func RestartAllWithConfig(objs []history.ObjectID, machineFor func(history.Objec
 	bounds := log.SegmentBounds()
 	snap := log.Snapshot()
 	stats.LogRecords = len(snap)
+	if err := checkLogDiscipline(snap, redo); err != nil {
+		return nil, stats, err
+	}
 	pass1 := time.Now()
 	winners, parts := winnersParallel(snap, bounds, p)
 	stats.Pass1NS = time.Since(pass1).Nanoseconds()
 	stats.Segments = parts
+	if redo && log.Base() == 0 {
+		// On an untruncated log every winner's dependency set must itself
+		// be durable — a cheap end-to-end audit of the consistent-cut
+		// batching that the winners-only replay relies on. Truncation may
+		// fold a dependency's commit record away, so the check is skipped
+		// once the log has a base.
+		if err := checkDepClosure(snap, winners); err != nil {
+			return nil, stats, err
+		}
+	}
 
 	seeds := make(map[history.ObjectID]*checkpoint.ObjectSnapshot)
 	if ckpt != nil {
@@ -334,6 +365,15 @@ func RestartAllWithConfig(objs []history.ObjectID, machineFor func(history.Objec
 			defer wg.Done()
 			for _, i := range buckets[w] {
 				obj := objs[i]
+				if redo {
+					st, err := restartRedoWith(obj, machineFor(obj), log, snap, winners, seeds[obj], &workerStats[w])
+					if err != nil {
+						errs[i] = fmt.Errorf("recovery: restart %s: %w", obj, err)
+						return
+					}
+					stores[i] = st
+					continue
+				}
 				st, tail, err := restartWith(obj, machineFor(obj), log, snap, winners, seeds[obj], &workerStats[w])
 				if err != nil {
 					errs[i] = fmt.Errorf("recovery: restart %s: %w", obj, err)
@@ -539,6 +579,12 @@ func restartWith(obj history.ObjectID, m adt.Machine, log *wal.Log,
 				return nil, nil, fmt.Errorf("recovery: restart: abort record for %s with %d un-compensated updates",
 					rec.Txn, len(ti.pending))
 			}
+		default:
+			// Only a redo-only engine writes per-object records of any other
+			// kind; callers dispatch on the discipline marker before getting
+			// here (see checkLogDiscipline), so this is a torn handoff.
+			return nil, nil, fmt.Errorf("recovery: restart LSN %d: unexpected %s record in undo-mode replay",
+				rec.LSN, rec.Kind)
 		}
 	}
 

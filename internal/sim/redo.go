@@ -1,0 +1,257 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"repro/internal/adt"
+	"repro/internal/history"
+	"repro/internal/recovery"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// RedoSweepConfig parameterizes the logging-discipline experiment (E19):
+// the fan-out transfer workload runs once per (discipline × backend) arm —
+// undo logging versus REDO-only dependency logging, over the single-file
+// and segmented WAL backends — and each arm's durable artifacts are then
+// restarted from scratch. The workload phase measures what each discipline
+// pays to log (records and bytes per commit, commit hold time); the
+// restart phase measures what each pays to recover (records replayed,
+// undone, wall time). The paper's UIP-versus-DU framing is the reference
+// point: undo logging is the recovery half of update-in-place, while the
+// redo-only discipline logs like deferred update — losers never reach the
+// durable log as anything but skipped operation records, so aborts cost
+// no log writes and restart needs no undo pass.
+type RedoSweepConfig struct {
+	TransferConfig
+	// Length is the total transactions per worker.
+	Length int
+	// SegmentBytes is the segmented arm's rotation threshold.
+	SegmentBytes int64
+}
+
+// DefaultRedoSweepConfig sweeps the three-participant transfer workload —
+// with a fifth of the transfers aborting voluntarily, so the disciplines'
+// abort costs (compensation records versus nothing) are on display — over
+// both backends.
+func DefaultRedoSweepConfig() RedoSweepConfig {
+	cfg := RedoSweepConfig{
+		TransferConfig: DefaultTransferConfig(),
+		Length:         150,
+		SegmentBytes:   4 << 10,
+	}
+	cfg.Participants = 3
+	return cfg
+}
+
+// RedoPoint is one measured (discipline, backend) arm.
+type RedoPoint struct {
+	Discipline string `json:"discipline"` // "undo" or "redo"
+	Backend    string `json:"backend"`    // "file" or "seg"
+	Commits    int64  `json:"commits"`
+	Aborts     int64  `json:"aborts"`
+	// LogRecords / LogBytes describe the durable log the workload left
+	// behind (no truncation in this sweep: the totals are what the
+	// discipline logged, full stop). BytesPerCommit is the normalized
+	// machine-independent signal the arms are compared on.
+	LogRecords     int     `json:"log_records"`
+	LogBytes       int64   `json:"log_bytes"`
+	BytesPerCommit float64 `json:"bytes_per_commit"`
+	// DepCommits / DepEntries count the dependency sets the redo-only
+	// discipline reified: commit records carrying a non-empty Deps list,
+	// and the total transaction IDs across them. Zero under undo logging.
+	DepCommits int `json:"dep_commits,omitempty"`
+	DepEntries int `json:"dep_entries,omitempty"`
+	// CommitHoldUS is the mean lock hold time of the commit protocol
+	// (txn.Metrics.CommitHoldNS over commits).
+	CommitHoldUS float64 `json:"commit_hold_us"`
+	// Restart-phase work (recovery.RestartStats) over the reopened
+	// artifacts: the undo arm replays every durable record and undoes
+	// losers; the redo arm replays winners only and undoes nothing.
+	ReplayedRecords int     `json:"replayed_records"`
+	SkippedRecords  int     `json:"skipped_records"`
+	UndoneRecords   int     `json:"undone_records"`
+	RestartUS       float64 `json:"restart_us"`
+	// Conserved reports the recovered accounts summing to the initial
+	// total.
+	Conserved bool `json:"conserved"`
+}
+
+// redoArm is one cell of the discipline × backend grid.
+type redoArm struct {
+	discipline string // "" (undo) or wal.DisciplineRedo
+	single     bool
+	segBytes   int64
+}
+
+func (a redoArm) name() string {
+	if a.discipline == wal.DisciplineRedo {
+		return "redo"
+	}
+	return "undo"
+}
+
+func (a redoArm) backendName() string {
+	if a.single {
+		return "file"
+	}
+	return "seg"
+}
+
+// runRedoArm runs the workload once under the arm's discipline and
+// backend, closes the engine, reopens the durable artifacts, and restarts
+// them.
+func runRedoArm(cfg RedoSweepConfig, arm redoArm, dir string) (RedoPoint, error) {
+	p := RedoPoint{Discipline: arm.name(), Backend: arm.backendName()}
+	d := txn.DurabilityOptions{
+		Dir:           filepath.Join(dir, arm.name()+"-"+arm.backendName()),
+		SingleFile:    arm.single,
+		SegmentBytes:  arm.segBytes,
+		BatchInterval: 50 * time.Microsecond,
+	}
+	e, err := txn.NewDurableEngine(txn.Options{Shards: cfg.Shards, LogDiscipline: arm.discipline}, d)
+	if err != nil {
+		return p, err
+	}
+	ba := cfg.BankAccount()
+	rel := adt.DefaultBankAccount().NRBC()
+	for i := 0; i < cfg.Accounts; i++ {
+		e.MustRegister(TransferAccountID(i), ba, rel, txn.UndoLogRecovery)
+	}
+	c := cfg.TransferConfig
+	c.TxnsPerWorker = cfg.Length
+	RunTransfers(e, c)
+	p.Commits = e.Metrics.Commits.Load()
+	p.Aborts = e.Metrics.Aborts.Load()
+	if p.Commits > 0 {
+		p.CommitHoldUS = float64(e.Metrics.CommitHoldNS.Load()) / float64(p.Commits) / 1e3
+	}
+	if err := e.Close(); err != nil {
+		return p, err
+	}
+
+	// Reopen the durable artifacts and restart — the discipline is
+	// detected from the log's own marker.
+	var backend wal.Backend
+	if arm.single {
+		backend, err = wal.OpenFileBackend(d.WALPath())
+	} else {
+		backend, err = wal.OpenSegmentedBackend(d.WALDir(), d.SegmentConfig())
+	}
+	if err != nil {
+		return p, err
+	}
+	relog, err := wal.Open(wal.Config{Backend: backend})
+	if err != nil {
+		return p, err
+	}
+	p.LogRecords = relog.Records()
+	p.LogBytes = relog.Bytes()
+	if p.Commits > 0 {
+		p.BytesPerCommit = float64(p.LogBytes) / float64(p.Commits)
+	}
+	for _, r := range relog.Snapshot() {
+		if r.Kind == wal.TxnCommitRec && len(r.Deps) > 0 {
+			p.DepCommits++
+			p.DepEntries += len(r.Deps)
+		}
+	}
+	objs := make([]history.ObjectID, cfg.Accounts)
+	for i := range objs {
+		objs[i] = TransferAccountID(i)
+	}
+	start := time.Now()
+	stores, stats, err := recovery.RestartAllWithConfig(objs,
+		func(history.ObjectID) adt.Machine { return ba.Machine() }, relog, nil,
+		recovery.RestartConfig{})
+	if err != nil {
+		return p, err
+	}
+	p.RestartUS = float64(time.Since(start).Nanoseconds()) / 1e3
+	p.ReplayedRecords = stats.Replayed
+	p.SkippedRecords = stats.Skipped
+	p.UndoneRecords = stats.Undone
+	total := 0
+	for obj, st := range stores {
+		v, err := strconv.Atoi(st.CommittedValue().Encode())
+		if err != nil {
+			return p, fmt.Errorf("sim: restarted %s balance: %w", obj, err)
+		}
+		total += v
+	}
+	p.Conserved = total == cfg.Accounts*cfg.InitialBalance
+	if err := relog.Close(); err != nil {
+		return p, err
+	}
+	return p, nil
+}
+
+// RedoSweep runs the discipline × backend grid in a temporary directory
+// (or dir, when non-empty) and enforces the experiment's core claim: per
+// backend, the redo-only arm must log strictly fewer bytes per commit than
+// the undo arm (it drops the undo payloads, the per-object commit records,
+// and the entire abort trail) — a regression here means the discipline
+// stopped paying for itself.
+func RedoSweep(cfg RedoSweepConfig, dir string) ([]RedoPoint, error) {
+	if dir == "" {
+		d, err := os.MkdirTemp("", "ccbench-redo-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+	arms := []redoArm{
+		{discipline: "", single: true},
+		{discipline: wal.DisciplineRedo, single: true},
+		{discipline: "", segBytes: cfg.SegmentBytes},
+		{discipline: wal.DisciplineRedo, segBytes: cfg.SegmentBytes},
+	}
+	var out []RedoPoint
+	for _, arm := range arms {
+		p, err := runRedoArm(cfg, arm, dir)
+		if err != nil {
+			return nil, fmt.Errorf("sim: redo sweep %s/%s: %w", arm.name(), arm.backendName(), err)
+		}
+		if !p.Conserved {
+			return nil, fmt.Errorf("sim: redo sweep %s/%s: restart did not conserve the total", arm.name(), arm.backendName())
+		}
+		out = append(out, p)
+	}
+	for _, backend := range []string{"file", "seg"} {
+		var undo, redo *RedoPoint
+		for i := range out {
+			if out[i].Backend != backend {
+				continue
+			}
+			if out[i].Discipline == "redo" {
+				redo = &out[i]
+			} else {
+				undo = &out[i]
+			}
+		}
+		if undo != nil && redo != nil && redo.BytesPerCommit >= undo.BytesPerCommit {
+			return nil, fmt.Errorf("sim: redo sweep %s: redo-only logged %.1f bytes/commit, undo %.1f — the discipline's byte win vanished",
+				backend, redo.BytesPerCommit, undo.BytesPerCommit)
+		}
+	}
+	return out, nil
+}
+
+// RenderRedoTable renders sweep points as a fixed-width table.
+func RenderRedoTable(title string, points []RedoPoint) string {
+	b := fmt.Sprintf("%s\n%-4s %-4s %7s %6s %8s %9s %8s %8s %8s %6s %9s %11s %5s\n",
+		title, "disc", "wal", "commits", "aborts", "logrecs", "logbytes",
+		"B/commit", "depcmts", "replayed", "undone", "hold(us)", "restart(us)", "cons")
+	for _, p := range points {
+		b += fmt.Sprintf("%-4s %-4s %7d %6d %8d %9d %8.1f %8d %8d %6d %9.1f %11.0f %5v\n",
+			p.Discipline, p.Backend, p.Commits, p.Aborts, p.LogRecords, p.LogBytes,
+			p.BytesPerCommit, p.DepCommits, p.ReplayedRecords, p.UndoneRecords,
+			p.CommitHoldUS, p.RestartUS, p.Conserved)
+	}
+	return b
+}

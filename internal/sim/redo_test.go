@@ -1,0 +1,60 @@
+package sim
+
+import "testing"
+
+// TestRedoSweepQuick runs a small E19 grid end to end and checks the
+// structural claims the experiment's numbers rest on: every arm conserves
+// the total (RedoSweep itself hard-errors otherwise, as it does if the
+// redo arm's bytes/commit ever reaches the undo arm's), the redo arms
+// reify dependency sets on their commit records, undo nothing, and skip
+// losers at restart, and per backend the undo arm replays strictly more
+// records than the redo arm (it processes every durable record — losers'
+// updates and their compensation trail included — where redo replays the
+// winners-only projection).
+func TestRedoSweepQuick(t *testing.T) {
+	cfg := DefaultRedoSweepConfig()
+	cfg.Length = 40
+	pts, err := RedoSweep(cfg, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("got %d points, want 4", len(pts))
+	}
+	replayed := map[string]map[string]int{}
+	for _, p := range pts {
+		if p.Commits == 0 || p.Aborts == 0 {
+			t.Errorf("%s/%s: degenerate workload (commits=%d aborts=%d)",
+				p.Discipline, p.Backend, p.Commits, p.Aborts)
+		}
+		if !p.Conserved {
+			t.Errorf("%s/%s: total not conserved", p.Discipline, p.Backend)
+		}
+		if replayed[p.Backend] == nil {
+			replayed[p.Backend] = map[string]int{}
+		}
+		replayed[p.Backend][p.Discipline] = p.ReplayedRecords
+		switch p.Discipline {
+		case "redo":
+			if p.DepCommits == 0 {
+				t.Errorf("redo/%s: no commit record carried a dependency set", p.Backend)
+			}
+			if p.UndoneRecords != 0 {
+				t.Errorf("redo/%s: restart undid %d records, want 0", p.Backend, p.UndoneRecords)
+			}
+			if p.SkippedRecords == 0 {
+				t.Errorf("redo/%s: restart skipped no loser records", p.Backend)
+			}
+		case "undo":
+			if p.DepCommits != 0 {
+				t.Errorf("undo/%s: %d commit records carried dependency sets", p.Backend, p.DepCommits)
+			}
+		}
+	}
+	for backend, byDisc := range replayed {
+		if byDisc["undo"] <= byDisc["redo"] {
+			t.Errorf("%s: undo restart replayed %d records, redo %d — winners-only replay should be strictly smaller",
+				backend, byDisc["undo"], byDisc["redo"])
+		}
+	}
+}

@@ -52,6 +52,9 @@ type TransferConfig struct {
 	Seed int64
 	// Record enables history recording (verification runs only).
 	Record bool
+	// Discipline is passed to txn.Options.LogDiscipline: empty for undo
+	// logging, wal.DisciplineRedo for REDO-only dependency logging.
+	Discipline string
 }
 
 // DefaultTransferConfig is 6 hot accounts under 5 workers with a fifth of
@@ -88,7 +91,8 @@ func (cfg TransferConfig) BankAccount() adt.BankAccount {
 // bank accounts sharing log (nil selects the default in-memory WAL).
 func NewTransferEngine(cfg TransferConfig, log *wal.Log) *txn.Engine {
 	ba := cfg.BankAccount()
-	e := txn.NewEngine(txn.Options{RecordHistory: cfg.Record, Shards: cfg.Shards, WAL: log})
+	e := txn.NewEngine(txn.Options{RecordHistory: cfg.Record, Shards: cfg.Shards, WAL: log,
+		LogDiscipline: cfg.Discipline})
 	for i := 0; i < cfg.Accounts; i++ {
 		e.MustRegister(TransferAccountID(i), ba, adt.DefaultBankAccount().NRBC(), txn.UndoLogRecovery)
 	}

@@ -92,6 +92,17 @@ func (e *Engine) Checkpoint() (*checkpoint.Snapshot, error) {
 		return nil, fmt.Errorf("txn: checkpoint %s: %w", id, err)
 	}
 	lastTk := beginTk
+	if e.redoOnly() {
+		// Re-brand the log right past the frontier: truncation discards
+		// everything before it — including the discipline marker NewEngine
+		// staged as the first record — and a reopened truncated log must
+		// still declare its discipline from its own contents.
+		tk, err := e.log.AppendAsync(wal.DisciplineMarker(wal.DisciplineRedo))
+		if err != nil {
+			return nil, fmt.Errorf("txn: checkpoint %s: %w", id, err)
+		}
+		lastTk = tk
+	}
 
 	type capture struct {
 		obj    history.ObjectID
@@ -167,6 +178,7 @@ func (e *Engine) Checkpoint() (*checkpoint.Snapshot, error) {
 		ID:         string(id),
 		Frontier:   frontier,
 		DurableLSN: e.log.DurableLSN(),
+		Discipline: e.opts.LogDiscipline,
 		Objects:    make([]checkpoint.ObjectSnapshot, 0, len(caps)),
 	}
 	for _, c := range caps {

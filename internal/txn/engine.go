@@ -207,6 +207,20 @@ type Options struct {
 	// ReleasePolicy selects when Txn.Commit releases its locks relative to
 	// the durability barrier. The zero value is ReleaseEarlyTracked.
 	ReleasePolicy ReleasePolicy
+	// LogDiscipline selects the logging discipline of the engine's undo-log
+	// objects. The zero value (or wal.DisciplineUndo) is the default undo
+	// logging: before-image/inverse records for every update, per-object
+	// commit and compensation records, redo+undo restart.
+	// wal.DisciplineRedo selects REDO-only dependency logging: updates
+	// stage logical operation records with no undo payload, aborts undo
+	// purely in memory and log nothing, and each transaction-level commit
+	// record carries the set of committed writers the transaction read from
+	// (see wal.Record.Deps) — restart replays only winners, in dependency
+	// order, with no undo pass (recovery.RestartRedoOnly). The engine
+	// stamps a discipline marker into a fresh log and Register rejects a
+	// log whose marker contradicts this option, so artifacts written under
+	// one discipline can never be silently recovered under the other.
+	LogDiscipline string
 	// Checkpoint, when non-nil, enables fuzzy checkpointing: manual
 	// Engine.Checkpoint calls and, with Every set, a background
 	// checkpointer goroutine the engine owns (stopped by Engine.Close).
@@ -286,6 +300,13 @@ type managedObject struct {
 	// as a dependency: its own barrier must not acknowledge before the
 	// WAL's durable watermark covers this ticket.
 	commitTicket wal.Ticket
+	// commitWriter (under mu) is the transaction that published
+	// commitTicket — the identity half of the same dependency. Under the
+	// redo-only discipline a transaction touching the object inherits it
+	// into its dependency set, which its transaction-level commit record
+	// carries durably (wal.Record.Deps); restart audits that set for
+	// closure under the winner set.
+	commitWriter history.TxnID
 }
 
 // NewEngine builds an engine.
@@ -307,6 +328,13 @@ func NewEngine(opts Options) *Engine {
 			objects:  make(map[history.ObjectID]*managedObject),
 			recorder: history.NewRecorder(&e.evSeq),
 		}
+	}
+	if e.redoOnly() && log.Discipline() == "" && log.Len() == 0 && log.Base() == 0 {
+		// Brand the fresh log with the discipline marker as its first record
+		// so restart (and any later engine) detects the discipline from the
+		// log alone. A non-empty unmarked log is NOT branded — it was
+		// written by an undo-mode engine and Register rejects it.
+		log.AppendAsync(wal.DisciplineMarker(wal.DisciplineRedo))
 	}
 	if opts.Checkpoint != nil && opts.Checkpoint.Store != nil && opts.Checkpoint.Every > 0 {
 		e.ckptQuit = make(chan struct{})
@@ -342,6 +370,9 @@ func (e *Engine) Close() error {
 	return e.closeErr
 }
 
+// redoOnly reports whether the engine runs the redo-only discipline.
+func (e *Engine) redoOnly() bool { return e.opts.LogDiscipline == wal.DisciplineRedo }
+
 // shardOf returns the shard owning id.
 func (e *Engine) shardOf(id history.ObjectID) *engineShard {
 	return e.shards[stripe.FNV32a(string(id))&e.mask]
@@ -362,7 +393,21 @@ func (e *Engine) Register(id history.ObjectID, ty adt.Type, rel commute.Relation
 	var store recovery.Store
 	switch kind {
 	case UndoLogRecovery:
-		store = recovery.NewUndoLog(id, ty.Machine(), e.log)
+		// Mixed-discipline handoffs must fail here, not mis-recover later:
+		// the durable artifacts of one discipline are meaningless to the
+		// other (a redo engine would replay into a log whose updates it
+		// cannot interpret; an undo engine would stage undo records into a
+		// winners-only log).
+		if d := e.log.Discipline(); e.redoOnly() && d != wal.DisciplineRedo {
+			return fmt.Errorf("txn: register %q: redo-only engine over a log with discipline %q (written by an undo-mode engine?)", id, d)
+		} else if !e.redoOnly() && d == wal.DisciplineRedo {
+			return fmt.Errorf("txn: register %q: undo-logging engine over a log carrying the redo-only discipline marker", id)
+		}
+		if e.redoOnly() {
+			store = recovery.NewRedoOnlyLog(id, ty.Machine(), e.log)
+		} else {
+			store = recovery.NewUndoLog(id, ty.Machine(), e.log)
+		}
 	case IntentionsRecovery:
 		store = recovery.NewIntentions(id, ty.Machine())
 	default:
@@ -450,6 +495,13 @@ type Txn struct {
 	// barrier waits for the WAL's durable watermark to cover it (see
 	// ReleaseEarlyTracked).
 	dep wal.Ticket
+	// depTxns (redo-only discipline) is the identity of the read-from set:
+	// the last committed writer of every object this transaction touched.
+	// Commit stages it, sorted, on the transaction-level commit record
+	// (wal.Record.Deps) — the durable reification of the ticket-based
+	// dependency above, which restart audits for closure under the winner
+	// set. Nil under undo logging: the undo arm's records are unchanged.
+	depTxns map[history.TxnID]bool
 }
 
 // Begin starts a transaction.
@@ -513,6 +565,12 @@ func (t *Txn) Invoke(obj history.ObjectID, inv spec.Invocation) (spec.Response, 
 			if mo.commitTicket > t.dep {
 				t.dep = mo.commitTicket
 			}
+			if e.redoOnly() && mo.commitWriter != "" && mo.commitWriter != t.id {
+				if t.depTxns == nil {
+					t.depTxns = make(map[history.TxnID]bool)
+				}
+				t.depTxns[mo.commitWriter] = true
+			}
 			// Record the completed operation under the latch so the global
 			// history preserves the object's true execution order.
 			// Invocations are recorded only when they complete, so failed
@@ -572,6 +630,7 @@ func (t *Txn) releaseLocks(commit wal.Ticket) {
 		mo.mu.Lock()
 		if commit > mo.commitTicket {
 			mo.commitTicket = commit
+			mo.commitWriter = t.id
 		}
 		mo.table.Release(t.id)
 		mo.cond.Broadcast()
@@ -733,7 +792,20 @@ func (t *Txn) Commit() error {
 	// commit processing and before any lock release.
 	var ticket wal.Ticket
 	if t.wroteWAL {
-		tk, err := e.log.AppendAsync(wal.Record{Kind: wal.TxnCommitRec, Txn: t.id})
+		rec := wal.Record{Kind: wal.TxnCommitRec, Txn: t.id}
+		if e.redoOnly() && len(t.depTxns) > 0 {
+			// The redo-only discipline reifies the read-from set durably:
+			// restart audits every winner's Deps for closure under the
+			// winner set (consistent-cut batching makes any violation a
+			// torn log). Sorted, so the record is deterministic.
+			deps := make([]history.TxnID, 0, len(t.depTxns))
+			for d := range t.depTxns {
+				deps = append(deps, d)
+			}
+			sort.Slice(deps, func(i, j int) bool { return deps[i] < deps[j] })
+			rec.Deps = deps
+		}
+		tk, err := e.log.AppendAsync(rec)
 		if err != nil {
 			// The log closed under us (Commit racing Engine.Close): the
 			// transaction is committed in memory but its commit decision

@@ -2,6 +2,7 @@ package wal
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -117,6 +118,10 @@ type FileBackend struct {
 	replay []Record
 	closed bool
 	syncs  atomic.Int64
+	// bytes is the durable log size: the exact encoded bytes currently in
+	// the file (seeded from the clean scan on reopen, advanced per append,
+	// reset by truncation). It is what Log.Bytes must agree with.
+	bytes atomic.Int64
 }
 
 // CreateFileBackend creates (or truncates) the file at path and returns an
@@ -152,7 +157,9 @@ func OpenFileBackend(path string) (*FileBackend, error) {
 		f.Close()
 		return nil, fmt.Errorf("wal: seek: %w", err)
 	}
-	return &FileBackend{f: f, path: path, replay: recs}, nil
+	b := &FileBackend{f: f, path: path, replay: recs}
+	b.bytes.Store(clean)
+	return b, nil
 }
 
 // ReadFileLog decodes the records of a log file without opening it for
@@ -176,6 +183,11 @@ func (b *FileBackend) Replay() []Record { return b.replay }
 
 // Syncs returns the number of batches fsynced.
 func (b *FileBackend) Syncs() int64 { return b.syncs.Load() }
+
+// DurableBytes returns the exact number of encoded log bytes currently in
+// the backing file — the ground truth the Log.Bytes accounting is asserted
+// against.
+func (b *FileBackend) DurableBytes() int64 { return b.bytes.Load() }
 
 // Sync implements Backend: encode the batch, write it in one call, and
 // fsync. The whole batch is encoded before any byte is written, so an
@@ -202,6 +214,7 @@ func (b *FileBackend) Sync(records []Record) error {
 	if err := b.f.Sync(); err != nil {
 		return fmt.Errorf("wal: fsync %s: %w", b.path, err)
 	}
+	b.bytes.Add(int64(batch.Len()))
 	b.syncs.Add(1)
 	return nil
 }
@@ -272,6 +285,7 @@ func (b *FileBackend) TruncateBefore(lsn LSN) (TruncateStats, error) {
 		os.Remove(tmp)
 		return done(fmt.Errorf("wal: truncate %s: %w", b.path, err))
 	}
+	b.bytes.Store(int64(suffix.Len()))
 	// Make the rename durable before any further Sync acks against the new
 	// inode: without the directory fsync a crash could resurrect the old
 	// dirent — the pre-truncation inode, missing every post-truncation
@@ -329,11 +343,13 @@ func (b *FileBackend) Close() error {
 
 // File format: one record per '\n'-terminated line of tab-separated
 // fields — lsn, kind, txn, obj, prevLSN, invocation name, invocation args,
-// response, undo — with tabs/newlines/backslashes escaped inside string
-// fields. The undo field is "-" for nil or "e" + the escaped EncodedUndo
-// string. The format is append-only and self-delimiting, so a crash
-// mid-write leaves at most one torn final line, which the scanner
-// discards.
+// response, undo, deps — with tabs/newlines/backslashes escaped inside
+// string fields. The undo field is "-" for nil or "e" + the escaped
+// EncodedUndo string; the deps field is "-" for none or "d" + the escaped
+// JSON array of dependency TxnIDs. Nine-field lines (written before the
+// deps field existed) still decode, with nil Deps. The format is
+// append-only and self-delimiting, so a crash mid-write leaves at most one
+// torn final line, which the scanner discards.
 
 var fileEscaper = strings.NewReplacer("\\", "\\\\", "\t", "\\t", "\n", "\\n")
 var fileUnescaper = strings.NewReplacer("\\\\", "\\", "\\t", "\t", "\\n", "\n")
@@ -349,7 +365,15 @@ func encodeRecord(r Record) (string, error) {
 		return "", fmt.Errorf("wal: file backend cannot encode undo token of type %T at LSN %d "+
 			"(stage it as wal.EncodedUndo; see adt.UndoTokenCodec)", r.Undo, r.LSN)
 	}
-	return fmt.Sprintf("%d\t%d\t%s\t%s\t%d\t%s\t%s\t%s\t%s\n",
+	deps := "-"
+	if len(r.Deps) > 0 {
+		js, err := json.Marshal(r.Deps)
+		if err != nil {
+			return "", fmt.Errorf("wal: encode deps at LSN %d: %w", r.LSN, err)
+		}
+		deps = "d" + fileEscaper.Replace(string(js))
+	}
+	return fmt.Sprintf("%d\t%d\t%s\t%s\t%d\t%s\t%s\t%s\t%s\t%s\n",
 		r.LSN, int(r.Kind),
 		fileEscaper.Replace(string(r.Txn)),
 		fileEscaper.Replace(string(r.Obj)),
@@ -357,20 +381,20 @@ func encodeRecord(r Record) (string, error) {
 		fileEscaper.Replace(r.Op.Inv.Name),
 		fileEscaper.Replace(r.Op.Inv.Args),
 		fileEscaper.Replace(string(r.Op.Res)),
-		undo), nil
+		undo, deps), nil
 }
 
 func decodeRecord(line string) (Record, error) {
 	fields := strings.Split(line, "\t")
-	if len(fields) != 9 {
-		return Record{}, fmt.Errorf("wal: record has %d fields, want 9", len(fields))
+	if len(fields) != 9 && len(fields) != 10 {
+		return Record{}, fmt.Errorf("wal: record has %d fields, want 9 or 10", len(fields))
 	}
 	lsn, err := strconv.ParseUint(fields[0], 10, 64)
 	if err != nil {
 		return Record{}, fmt.Errorf("wal: bad LSN %q", fields[0])
 	}
 	kind, err := strconv.Atoi(fields[1])
-	if err != nil || kind < int(Update) || kind > int(CheckpointRec) {
+	if err != nil || kind < int(Update) || kind > int(DisciplineRec) {
 		return Record{}, fmt.Errorf("wal: bad record kind %q", fields[1])
 	}
 	prev, err := strconv.ParseUint(fields[4], 10, 64)
@@ -397,6 +421,17 @@ func decodeRecord(line string) (Record, error) {
 		r.Undo = EncodedUndo(fileUnescaper.Replace(undo[1:]))
 	default:
 		return Record{}, fmt.Errorf("wal: bad undo field %q", undo)
+	}
+	if len(fields) == 10 {
+		switch deps := fields[9]; {
+		case deps == "-":
+		case strings.HasPrefix(deps, "d"):
+			if err := json.Unmarshal([]byte(fileUnescaper.Replace(deps[1:])), &r.Deps); err != nil {
+				return Record{}, fmt.Errorf("wal: bad deps field %q: %w", deps, err)
+			}
+		default:
+			return Record{}, fmt.Errorf("wal: bad deps field %q", deps)
+		}
 	}
 	return r, nil
 }

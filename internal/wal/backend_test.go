@@ -3,10 +3,12 @@ package wal
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 	"time"
 
 	"repro/internal/adt"
+	"repro/internal/history"
 )
 
 // TestFileBackendRoundTrip: records synced to a file backend come back
@@ -27,6 +29,12 @@ func TestFileBackendRoundTrip(t *testing.T) {
 		{LSN: 5, Kind: AbortRec, Txn: "T\t2", Obj: "obj\nwith\\newline", PrevLSN: 4},
 		// The transaction-level commit record has no object and no operation.
 		{LSN: 6, Kind: TxnCommitRec, Txn: "T1", PrevLSN: 3},
+		// Redo-only discipline records: the logical-op record with no undo
+		// payload, the dependency-carrying commit record (awkward IDs
+		// included), and the discipline marker.
+		{LSN: 7, Kind: RedoRec, Txn: "T3", Obj: "X", Op: adt.DepositOk(5)},
+		{LSN: 8, Kind: TxnCommitRec, Txn: "T3", PrevLSN: 7, Deps: []history.TxnID{"T1", "T\t2", `d"ep\`}},
+		{LSN: 9, Kind: DisciplineRec, Op: DisciplineMarker(DisciplineRedo).Op},
 	}
 	if err := b.Sync(recs); err != nil {
 		t.Fatal(err)
@@ -44,7 +52,7 @@ func TestFileBackendRoundTrip(t *testing.T) {
 		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
 	}
 	for i := range recs {
-		if got[i] != recs[i] {
+		if !reflect.DeepEqual(got[i], recs[i]) {
 			t.Fatalf("record %d round-tripped as %+v, want %+v", i, got[i], recs[i])
 		}
 	}

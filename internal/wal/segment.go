@@ -294,6 +294,24 @@ func (b *SegmentedBackend) Replay() []Record { return b.replay }
 // Syncs returns the number of batches fsynced.
 func (b *SegmentedBackend) Syncs() int64 { return b.syncs.Load() }
 
+// DurableBytes returns the exact number of encoded log bytes across every
+// live segment file — the ground truth the Log.Bytes accounting is
+// asserted against. Dead segments held back by the retention policy still
+// count (they are still on disk and still replay), so the assertion holds
+// only under zero retention.
+func (b *SegmentedBackend) DurableBytes() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var n int64
+	for _, s := range b.sealed {
+		n += s.Bytes
+	}
+	if b.active != nil {
+		n += b.actInf.Bytes
+	}
+	return n
+}
+
 // Rotations returns the number of segment rotations performed since open.
 func (b *SegmentedBackend) Rotations() int64 { return b.rotations.Load() }
 

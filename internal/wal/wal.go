@@ -126,6 +126,20 @@ const (
 	// records exactly into captured prefix and replayable suffix. Restart
 	// ignores markers of checkpoints it is not seeded from.
 	CheckpointRec
+	// RedoRec records an executed operation under the REDO-only logging
+	// discipline: the logical invocation and its response, with no undo
+	// payload — the discipline of command/dependency logging. Restart
+	// replays RedoRecs of winners only (in LSN order, which dependency
+	// order refines); a loser's RedoRecs are simply never redone, so no
+	// undo pass exists at restart.
+	RedoRec
+	// DisciplineRec marks the logging discipline of the log it appears in
+	// (Op.Inv.Args carries the discipline name; see DisciplineRedo). A
+	// redo-only engine stages one as its first record — and again inside
+	// every checkpoint, right after the begin marker, so the marker
+	// survives truncation — letting reopen/restart detect a
+	// mixed-discipline handoff instead of silently mis-recovering.
+	DisciplineRec
 )
 
 // String implements fmt.Stringer.
@@ -143,8 +157,33 @@ func (k RecordKind) String() string {
 		return "txn-commit"
 	case CheckpointRec:
 		return "checkpoint"
+	case RedoRec:
+		return "redo"
+	case DisciplineRec:
+		return "discipline"
 	}
 	return fmt.Sprintf("RecordKind(%d)", int(k))
+}
+
+// Logging disciplines a log can carry (see DisciplineRec and
+// Log.Discipline). The undo discipline is the default and is implicit — an
+// undo-mode log carries no marker, so every pre-discipline log reads as
+// undo.
+const (
+	// DisciplineUndo is update-in-place undo logging: Update records carry
+	// physical before-images and restart redoes winners then undoes losers.
+	DisciplineUndo = "undo"
+	// DisciplineRedo is REDO-only dependency logging: RedoRecs carry the
+	// logical operation only, TxnCommitRecs carry the commit-order
+	// dependency set, and restart replays winners forward with no undo
+	// pass.
+	DisciplineRedo = "redo"
+)
+
+// DisciplineMarker returns the marker record a redo-only engine stages to
+// brand its log (Txn and Obj empty; the discipline rides in Op.Inv.Args).
+func DisciplineMarker(d string) Record {
+	return Record{Kind: DisciplineRec, Op: spec.Operation{Inv: spec.Invocation{Name: "discipline", Args: d}}}
 }
 
 // Record is one log record.
@@ -161,6 +200,13 @@ type Record struct {
 	// EncodedUndo form (see backend.go); recovery.Restart decodes them with
 	// the machine's codec.
 	Undo any
+	// Deps is the transaction's commit-order dependency set, carried on
+	// TxnCommitRec under the redo-only discipline: the committed writers
+	// this transaction read from. Because flush batches are consistent
+	// cuts, a durable TxnCommitRec's Deps are always durable winners too —
+	// the property redo-only restart's winners-in-dependency-order replay
+	// relies on. Nil under undo logging.
+	Deps []history.TxnID
 }
 
 // stagedRec is a staged record awaiting LSN assignment. lsn is written by
@@ -239,9 +285,13 @@ type Log struct {
 	// bytes approximates the encoded size of the retained records (the
 	// log-length accounting the checkpoint sweeps report); maintained by
 	// flushOnce and TruncateBefore.
-	bytes   int64
-	lastOf  map[history.TxnID]LSN
-	syncErr error // first backend failure, under mu
+	bytes  int64
+	lastOf map[history.TxnID]LSN
+	// discipline is the logging discipline the log carries, set by the
+	// first DisciplineRec sequenced or replayed ("" = no marker = implicit
+	// undo logging). Under mu.
+	discipline string
+	syncErr    error // first backend failure, under mu
 	// truncStats accumulates the backend truncation cost across the log's
 	// lifetime (under flushMu, like the backend calls that produce it).
 	truncStats TruncateStats
@@ -357,7 +407,10 @@ func Open(cfg Config) (*Log, error) {
 				}
 			}
 			l.records = append(l.records, r)
-			l.bytes += approxRecordSize(r)
+			l.bytes += recordSize(r)
+			if r.Kind == DisciplineRec && l.discipline == "" {
+				l.discipline = r.Op.Inv.Args
+			}
 			l.lastOf[r.Txn] = r.LSN
 		}
 		// Replayed records came from the durable file; the watermark starts
@@ -534,6 +587,20 @@ func (l *Log) Flush() error {
 	return nil
 }
 
+// sequenceStaged guarantees every record staged before the call has been
+// sequenced when it returns, even on a closing log. It is what the read
+// accessors (Get, Snapshot, SegmentBounds, ...) and sync-mode WaitDurable
+// use in place of a bare Flush: Flush on a closing log returns ErrClosed
+// WITHOUT sequencing, so a reader that discarded the error could serve a
+// view missing records staged just before Close began. On that error the
+// caller joins the sequencer directly — flushMu orders the call against
+// Close's final drain — which is the same fallback Append uses.
+func (l *Log) sequenceStaged() {
+	if err := l.Flush(); err != nil {
+		l.flushOnce()
+	}
+}
+
 // flusher is the dedicated sequencing goroutine of an asynchronous log.
 func (l *Log) flusher() {
 	defer close(l.flusherDone)
@@ -623,7 +690,10 @@ func (l *Log) flushOnce() {
 			s.rec.PrevLSN = l.lastOf[s.rec.Txn]
 			l.lastOf[s.rec.Txn] = s.rec.LSN
 			l.records = append(l.records, s.rec)
-			l.bytes += approxRecordSize(s.rec)
+			l.bytes += recordSize(s.rec)
+			if s.rec.Kind == DisciplineRec && l.discipline == "" {
+				l.discipline = s.rec.Op.Inv.Args
+			}
 			s.lsn = s.rec.LSN
 			if recs != nil {
 				recs[i] = s.rec
@@ -701,8 +771,10 @@ func (l *Log) IsDurable(t Ticket) bool {
 // error). It is the dependency barrier of commit-LSN-ordered lock release:
 // a transaction that read from an early-released commit passes that
 // commit's ticket here and is acknowledged only once its read-from set is
-// durable. In synchronous mode the caller must have flushed first (nothing
-// else sequences); in asynchronous mode the flusher is nudged.
+// durable. The call self-sequences: in asynchronous mode the flusher is
+// nudged, and in synchronous mode the caller sequences whatever is staged
+// before waiting — nothing else would, so a caller that had not flushed
+// first used to block forever on a watermark that could never advance.
 func (l *Log) WaitDurable(t Ticket) error {
 	if t <= 0 {
 		return nil
@@ -712,6 +784,8 @@ func (l *Log) WaitDurable(t Ticket) error {
 		case l.wake <- struct{}{}:
 		default:
 		}
+	} else {
+		l.sequenceStaged()
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -727,6 +801,17 @@ func (l *Log) WaitDurable(t Ticket) error {
 	return nil
 }
 
+// Discipline returns the logging discipline the log carries: DisciplineRedo
+// when a DisciplineRec marker has been sequenced or replayed, "" when the
+// log has no marker (implicitly undo logging — every pre-discipline log).
+// Staged records are sequenced first so a just-staged marker is visible.
+func (l *Log) Discipline() string {
+	l.sequenceStaged()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.discipline
+}
+
 // Flushes returns the number of non-empty flush batches sequenced so far.
 func (l *Log) Flushes() int64 { return l.flushes.Load() }
 
@@ -737,7 +822,7 @@ func (l *Log) FlushedRecords() int64 { return l.flushed.Load() }
 // Get returns the record at the LSN, flushing staged records first. A
 // truncated LSN (at or below Base) is absent.
 func (l *Log) Get(lsn LSN) (Record, bool) {
-	l.Flush()
+	l.sequenceStaged()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if lsn <= l.base || lsn > l.base+LSN(len(l.records)) {
@@ -749,7 +834,7 @@ func (l *Log) Get(lsn LSN) (Record, bool) {
 // LastLSN returns the most recent LSN written for txn (0 if none),
 // flushing staged records first.
 func (l *Log) LastLSN(txn history.TxnID) LSN {
-	l.Flush()
+	l.sequenceStaged()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.lastOf[txn]
@@ -758,7 +843,7 @@ func (l *Log) LastLSN(txn history.TxnID) LSN {
 // Len returns the number of retained records (truncated records excluded),
 // flushing staged records first.
 func (l *Log) Len() int {
-	l.Flush()
+	l.sequenceStaged()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return len(l.records)
@@ -774,7 +859,7 @@ func (l *Log) Records() int { return l.Len() }
 // incrementally so truncation's effect is visible without re-encoding the
 // log. Staged records are flushed first.
 func (l *Log) Bytes() int64 {
-	l.Flush()
+	l.sequenceStaged()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.bytes
@@ -784,7 +869,7 @@ func (l *Log) Bytes() int64 {
 // has been discarded by TruncateBefore (0 for an untruncated log). LSNs
 // are never renumbered, so Base+1 is the first replayable LSN.
 func (l *Log) Base() LSN {
-	l.Flush()
+	l.sequenceStaged()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.base
@@ -794,7 +879,7 @@ func (l *Log) Base() LSN {
 // greater than lsn — the suffix a checkpoint-seeded restart replays when
 // lsn is the checkpoint frontier. Staged records are flushed first.
 func (l *Log) SuffixLen(lsn LSN) int {
-	l.Flush()
+	l.sequenceStaged()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	high := l.base + LSN(len(l.records))
@@ -812,7 +897,7 @@ func (l *Log) SuffixLen(lsn LSN) int {
 // a chain that crosses the truncation base stops at the oldest retained
 // record.
 func (l *Log) TxnChain(txn history.TxnID) []Record {
-	l.Flush()
+	l.sequenceStaged()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	var out []Record
@@ -829,7 +914,7 @@ func (l *Log) TxnChain(txn history.TxnID) []Record {
 // (diagnostics, tests), flushing staged records first. Truncated records
 // are gone; the first record's LSN is Base+1.
 func (l *Log) Snapshot() []Record {
-	l.Flush()
+	l.sequenceStaged()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return append([]Record(nil), l.records...)
@@ -879,7 +964,7 @@ func (l *Log) TruncateBefore(lsn LSN) (int, error) {
 	}
 	n := int(lsn - 1 - l.base)
 	for _, r := range l.records[:n] {
-		l.bytes -= approxRecordSize(r)
+		l.bytes -= recordSize(r)
 	}
 	// Copy the suffix so the truncated prefix's backing array is released.
 	l.records = append([]Record(nil), l.records[n:]...)
@@ -929,19 +1014,34 @@ func (l *Log) TruncateStats() TruncateStats {
 // on these boundaries. Staged records are flushed first so the bounds
 // cover everything sequenced.
 func (l *Log) SegmentBounds() []LSN {
-	l.Flush()
+	l.sequenceStaged()
 	if sg, ok := l.backend.(Segmenter); ok {
 		return sg.SegmentStarts()
 	}
 	return nil
 }
 
+// recordSize returns a record's exact durable encoding size — the bytes a
+// file or segmented backend appends for it — so the Bytes accounting
+// matches the on-disk log byte for byte. Records whose undo tokens exist
+// only in memory (raw tokens never staged for a durable backend) cannot be
+// encoded; those fall back to the estimate.
+func recordSize(r Record) int64 {
+	if line, err := encodeRecord(r); err == nil {
+		return int64(len(line))
+	}
+	return approxRecordSize(r)
+}
+
 // approxRecordSize estimates a record's encoded size (fixed framing plus
-// its string payloads) for the Bytes accounting.
+// its string payloads) for records recordSize cannot encode exactly.
 func approxRecordSize(r Record) int64 {
 	n := 24 + len(r.Txn) + len(r.Obj) + len(r.Op.Inv.Name) + len(r.Op.Inv.Args) + len(r.Op.Res)
 	if enc, ok := r.Undo.(EncodedUndo); ok {
 		n += len(enc)
+	}
+	for _, d := range r.Deps {
+		n += len(d) + 3
 	}
 	return int64(n)
 }
