@@ -1,0 +1,156 @@
+package main
+
+// The go vet -vettool protocol (a stdlib-only reimplementation of
+// x/tools' unitchecker): cmd/go hands the tool a JSON config naming one
+// package's files and the export data of its dependencies; the tool
+// type-checks, analyzes, prints findings to stderr, writes its (empty)
+// facts file, and exits nonzero when findings remain.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// vetConfig mirrors the fields of cmd/go's vet config that cclint needs.
+type vetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+func vetMode(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cclint: reading vet config:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "cclint: parsing vet config:", err)
+		return 1
+	}
+	// The facts file must exist even when there is nothing to report —
+	// cmd/go caches it as the action's output.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			os.WriteFile(cfg.VetxOutput, nil, 0o666)
+		}
+	}
+
+	// Test variants re-exercise forbidden shapes on purpose; cclint
+	// checks the engine's non-test code in both modes.
+	if strings.HasSuffix(cfg.ImportPath, ".test") || strings.HasSuffix(cfg.ImportPath, "_test") {
+		writeVetx()
+		return 0
+	}
+	fset := token.NewFileSet()
+	var syntax []*ast.File
+	for _, f := range cfg.GoFiles {
+		if strings.HasSuffix(f, "_test.go") {
+			continue
+		}
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "cclint:", err)
+			return 1
+		}
+		syntax = append(syntax, af)
+	}
+	if len(syntax) == 0 {
+		writeVetx()
+		return 0
+	}
+
+	// Resolve imports from the compiler export data cmd/go already built.
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tconf := types.Config{Importer: importer.ForCompiler(fset, compiler, lookup)}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, syntax, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "cclint:", err)
+		return 1
+	}
+
+	pkg := &analysis.Package{
+		Path:      cfg.ImportPath,
+		Name:      tpkg.Name(),
+		Dir:       cfg.Dir,
+		GoFiles:   cfg.GoFiles,
+		Fset:      fset,
+		Syntax:    syntax,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	var active []*analysis.Analyzer
+	for _, a := range analyzers {
+		if scopes.Allows(a.Name, cfg.ImportPath) {
+			active = append(active, a)
+		}
+	}
+	diags, err := analysis.RunAnalyzers(pkg, active)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cclint:", err)
+		return 1
+	}
+	diags = analysis.ApplySuppressions(pkg, diags)
+	writeVetx()
+	if cfg.VetxOnly {
+		return 0
+	}
+	n := 0
+	for _, d := range diags {
+		if !d.Suppressed {
+			fmt.Fprintf(os.Stderr, "%s\n", d)
+			n++
+		}
+	}
+	if n > 0 {
+		return 2
+	}
+	return 0
+}

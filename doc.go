@@ -92,6 +92,25 @@
 // handoff loudly. E19 measures the trade: fewer log bytes per commit and
 // winners-only replay, paid for with dependency sets on commit records.
 //
+// # Static invariants
+//
+// The disciplines above are conventions the compiler cannot check: a
+// swallowed WAL error converts "durable" into "probably durable", a
+// latch leaked on one error path wedges its object forever, a store
+// mutation that precedes its record's staging leaves a crash window the
+// log cannot explain, a wall-clock read or map-order iteration in
+// restart breaks the bit-identical parallel-replay proof, and one plain
+// access to an atomically-published field silently breaks its
+// release/acquire protocol. internal/analysis promotes all five to
+// machine-checked rules — a dependency-free go/analysis-style framework
+// with analyzers walerr, locksafe, stagebeforemutate, detreplay, and
+// atomicfield — driven by cmd/cclint both standalone (`go run
+// ./cmd/cclint ./...`) and through `go vet -vettool`. Every finding must
+// be fixed or silenced by a `//lint:ignore <analyzer> <justification>`
+// comment; cclint counts the suppressions and reprints each
+// justification in its summary, so silence stays auditable, and CI's
+// lint job fails on any unsuppressed diagnostic.
+//
 // The benchmarks in bench_test.go regenerate every table and figure of the
 // paper plus the engine scaling sweep (shards × GOMAXPROCS × operation
 // mix, including a read-mostly variant), the group-commit flush sweep

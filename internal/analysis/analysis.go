@@ -1,0 +1,217 @@
+// Package analysis is a self-contained, dependency-free reimplementation
+// of the core of golang.org/x/tools/go/analysis, plus the package loading
+// and suppression machinery the cclint driver needs. The engine's
+// correctness rests on code-level disciplines the compiler cannot check —
+// WAL errors must not be swallowed, latches must be released on every
+// path, undo/redo records must be staged before state mutates, restart
+// must be deterministic, atomically-published fields must never be
+// accessed plainly — and the analyzers under internal/analysis/... promote
+// those conventions to machine-checked rules.
+//
+// The API mirrors go/analysis (Analyzer, Pass, Diagnostic) so the
+// analyzers would port to the upstream framework unchanged; the container
+// this repo builds in has no module proxy, so the framework itself is
+// rebuilt here on the standard library alone (go/ast, go/types,
+// go/importer and the go command for package listing).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant-lint pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore suppressions. It must be a valid identifier.
+	Name string
+	// Doc is the one-paragraph description shown by cclint -list: the
+	// discipline enforced and the historical bug class that motivated it.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Pass presents one type-checked package to an Analyzer's Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+	// Suppressed is set by the driver when a //lint:ignore comment
+	// covers the finding; Justification carries the comment's reason.
+	Suppressed    bool
+	Justification string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// RunAnalyzers applies each analyzer to the package and returns the raw
+// (unsuppressed) diagnostics in position order.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Syntax,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// ---- suppression -----------------------------------------------------
+
+// A suppression is a //lint:ignore comment: it names the analyzers it
+// silences and must carry a non-empty justification. It covers findings
+// on the line it trails, or — when it stands alone — on the next
+// non-comment line.
+type suppression struct {
+	analyzers     map[string]bool
+	justification string
+	pos           token.Position
+	used          bool
+}
+
+// IgnorePrefix is the comment marker cclint understands:
+//
+//	//lint:ignore walerr[,locksafe] justification text
+//
+// Suppressions without a justification are themselves diagnostics: a
+// silenced invariant must say why silence is sound.
+const IgnorePrefix = "//lint:ignore "
+
+// ApplySuppressions marks diagnostics covered by //lint:ignore comments
+// in the package's files as Suppressed and returns extra diagnostics for
+// malformed (justification-free) or unused suppressions.
+func ApplySuppressions(pkg *Package, diags []Diagnostic) []Diagnostic {
+	sups := collectSuppressions(pkg)
+	for i := range diags {
+		key := lineKey{diags[i].Pos.Filename, diags[i].Pos.Line}
+		if s, ok := sups[key]; ok && s.analyzers[diags[i].Analyzer] {
+			diags[i].Suppressed = true
+			diags[i].Justification = s.justification
+			s.used = true
+		}
+	}
+	// Each suppression is indexed under two lines (its own and the
+	// next); dedupe by position before reporting on the comment itself.
+	var extra []Diagnostic
+	seen := make(map[token.Position]bool)
+	for _, s := range sups {
+		if seen[s.pos] {
+			continue
+		}
+		seen[s.pos] = true
+		switch {
+		case s.justification == "":
+			extra = append(extra, Diagnostic{
+				Analyzer: "cclint",
+				Pos:      s.pos,
+				Message:  "lint:ignore needs a justification: a silenced invariant must say why silence is sound",
+			})
+		case !s.used:
+			names := make([]string, 0, len(s.analyzers))
+			for n := range s.analyzers {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			extra = append(extra, Diagnostic{
+				Analyzer: "cclint",
+				Pos:      s.pos,
+				Message: fmt.Sprintf("unused lint:ignore suppression (%s): nothing here to silence",
+					strings.Join(names, ",")),
+			})
+		}
+	}
+	sort.Slice(extra, func(i, j int) bool {
+		a, b := extra[i].Pos, extra[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return append(diags, extra...)
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// collectSuppressions maps (file, line) to the suppression covering it.
+func collectSuppressions(pkg *Package) map[lineKey]*suppression {
+	out := make(map[lineKey]*suppression)
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, strings.TrimSpace(IgnorePrefix)) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, strings.TrimSpace(IgnorePrefix))
+				rest = strings.TrimSpace(rest)
+				names, justification, _ := strings.Cut(rest, " ")
+				s := &suppression{
+					analyzers:     make(map[string]bool),
+					justification: strings.TrimSpace(justification),
+					pos:           pkg.Fset.Position(c.Pos()),
+				}
+				for _, n := range strings.Split(names, ",") {
+					if n = strings.TrimSpace(n); n != "" {
+						s.analyzers[n] = true
+					}
+				}
+				// The comment covers its own line (a trailing comment)
+				// and, for a standalone comment, the following line.
+				line := pkg.Fset.Position(c.Pos()).Line
+				out[lineKey{s.pos.Filename, line}] = s
+				out[lineKey{s.pos.Filename, line + 1}] = s
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+// Package analysistest runs an analyzer over fixture packages and
+// compares its diagnostics against `// want` expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the stdlib alone.
+//
+// Fixture layout: <testdata>/src/<importpath>/*.go. A fixture file marks
+// expected findings with trailing comments:
+//
+//	l.Flush() // want `error result of .*Flush.* discarded`
+//
+// Multiple backquoted regexps on one comment expect multiple findings on
+// that line. Fixture packages may import each other by their
+// testdata-relative paths (a stub "wal" lives at testdata/src/wal) and
+// anything from the standard library.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads each fixture package and checks the analyzer's diagnostics
+// against the package's want-comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	imp := &fixtureImporter{
+		root:     filepath.Join(testdata, "src"),
+		fset:     fset,
+		fallback: analysis.NewImporter(fset),
+		cache:    map[string]*analysis.Package{},
+	}
+	for _, path := range pkgPaths {
+		pkg, err := imp.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		diags, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s over %s: %v", a.Name, path, err)
+		}
+		checkWants(t, pkg, diags)
+	}
+}
+
+// fixtureImporter resolves testdata-relative fixture packages first and
+// falls back to the source importer for the standard library.
+type fixtureImporter struct {
+	root     string
+	fset     *token.FileSet
+	fallback types.ImporterFrom
+	cache    map[string]*analysis.Package
+}
+
+func (fi *fixtureImporter) load(path string) (*analysis.Package, error) {
+	if p, ok := fi.cache[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(fi.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	pkg, err := analysis.Check(fi.fset, fi, path, dir, files)
+	if err != nil {
+		return nil, err
+	}
+	fi.cache[path] = pkg
+	return pkg, nil
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	return fi.ImportFrom(path, fi.root, 0)
+}
+
+func (fi *fixtureImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if st, err := os.Stat(filepath.Join(fi.root, filepath.FromSlash(path))); err == nil && st.IsDir() {
+		pkg, err := fi.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return fi.fallback.ImportFrom(path, dir, mode)
+}
+
+// wantRe extracts the backquoted patterns of a want comment.
+var wantRe = regexp.MustCompile("`([^`]*)`")
+
+type expectation struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+// checkWants matches diagnostics against want-comments line by line.
+func checkWants(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := map[lineKey][]*expectation{}
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text[idx:], -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, m[1], err)
+					}
+					k := lineKey{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], &expectation{re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		k := lineKey{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for _, e := range wants[k] {
+			if !e.used && e.re.MatchString(d.Message) {
+				e.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, es := range wants {
+		for _, e := range es {
+			if !e.used {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, e.re)
+			}
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}

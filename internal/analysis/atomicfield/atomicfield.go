@@ -1,0 +1,104 @@
+// Package atomicfield forbids mixed atomic/plain access to struct
+// fields.
+//
+// The engine publishes cross-goroutine state through atomics: the global
+// stamp, the durable watermark, commit tickets. A field that is ever
+// accessed through sync/atomic functions (atomic.LoadInt64(&x.f), ...)
+// participates in a release/acquire protocol, and one plain read or
+// write elsewhere silently breaks it — the race detector only catches
+// the schedules that actually collide, while the lint catches the shape.
+// The engine's own fields use the typed atomic.Int64 wrappers (immune by
+// construction); this analyzer guards the function-style pattern the
+// planned lock-free hot-path refactor will introduce.
+//
+// Within each package: pass 1 collects every struct field whose address
+// is taken as the first argument of a sync/atomic function; pass 2 flags
+// every other selector access to those fields — plain reads, plain
+// writes, and address-taking outside sync/atomic calls.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the atomicfield pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc: "a struct field accessed via sync/atomic must never be read or " +
+		"written plainly elsewhere in the package",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: fields used atomically, keyed by their types.Var, with the
+	// set of &x.f selector nodes that appear inside atomic calls (these
+	// are the sanctioned uses pass 2 must skip).
+	atomicFields := map[*types.Var]bool{}
+	sanctioned := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if fv := fieldVar(pass, sel); fv != nil {
+					atomicFields[fv] = true
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	// Pass 2: every other selector touching those fields is a violation.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			fv := fieldVar(pass, sel)
+			if fv == nil || !atomicFields[fv] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"plain access to field %s, which is accessed with sync/atomic elsewhere in this package: "+
+					"mixed atomic/plain access breaks the publication protocol",
+				fv.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether the call targets a sync/atomic function
+// (LoadInt64, StoreUint64, AddInt64, CompareAndSwapPointer, ...).
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	f := analysis.CalleeFunc(pass.TypesInfo, call)
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == "sync/atomic" &&
+		analysis.ReceiverNamed(f) == nil
+}
+
+// fieldVar resolves a selector to the struct field it names, or nil for
+// methods, package members and non-field selections.
+func fieldVar(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		v, _ := s.Obj().(*types.Var)
+		return v
+	}
+	return nil
+}

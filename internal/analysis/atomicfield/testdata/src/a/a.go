@@ -1,0 +1,28 @@
+// Package a holds atomicfield's failing fixtures: fields published
+// through sync/atomic and then touched plainly elsewhere.
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	n int64
+}
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+// plainRead races with bump: the load skips the acquire.
+func (c *counter) plainRead() int64 {
+	return c.n // want `plain access to field n, which is accessed with sync/atomic elsewhere in this package`
+}
+
+// plainWrite races with bump: the store skips the release.
+func (c *counter) plainWrite() {
+	c.n = 0 // want `plain access to field n`
+}
+
+// leakAddr hands out the address outside the atomic protocol.
+func (c *counter) leakAddr() *int64 {
+	return &c.n // want `plain access to field n`
+}

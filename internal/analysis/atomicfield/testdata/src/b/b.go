@@ -1,0 +1,34 @@
+// Package b holds atomicfield's passing fixtures: all-atomic access,
+// plainly-accessed fields that never meet sync/atomic, and the typed
+// atomic wrappers that are immune by construction.
+package b
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64
+	cold int64
+}
+
+// bump and read agree: every access to n goes through sync/atomic.
+func (c *counter) bump() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) read() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+// coldBump touches a field that is never accessed atomically.
+func (c *counter) coldBump() {
+	c.cold++
+}
+
+// gauge uses the typed wrapper: plain access is impossible, so the
+// analyzer has nothing to track.
+type gauge struct {
+	v atomic.Int64
+}
+
+func (g *gauge) set(x int64) { g.v.Store(x) }
+func (g *gauge) get() int64  { return g.v.Load() }

@@ -1,0 +1,12 @@
+package detreplay_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/detreplay"
+)
+
+func TestDetReplay(t *testing.T) {
+	analysistest.Run(t, "testdata", detreplay.Analyzer, "a", "b")
+}

@@ -1,0 +1,38 @@
+// Package a holds detreplay's failing fixtures: wall-clock reads,
+// randomness, and map-iteration order leaking into output.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+// stampNow would make two restarts of one log disagree on the stamp.
+func stampNow() int64 {
+	return time.Now().UnixNano() // want `time\.Now in replay/verification code: restart must be a function of the log alone`
+}
+
+// elapsed uses the wall clock inside verification.
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since in replay/verification code`
+}
+
+// pickWinner chooses nondeterministically.
+func pickWinner(n int) int {
+	return rand.Intn(n) // want `rand\.Intn in replay/verification code: restart must be deterministic`
+}
+
+// shuffled uses a rand.Rand method, not just a package function.
+func shuffled(r *rand.Rand, ids []uint64) {
+	r.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] }) // want `rand\.Shuffle in replay/verification code`
+}
+
+// loserIDs appends under map order and never sorts: map order leaks
+// straight into the replay output.
+func loserIDs(m map[uint64]bool) []uint64 {
+	var ids []uint64
+	for id := range m {
+		ids = append(ids, id) // want `append to ids under map-iteration order without a later sort`
+	}
+	return ids
+}

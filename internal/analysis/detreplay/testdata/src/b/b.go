@@ -1,0 +1,48 @@
+// Package b holds detreplay's passing fixtures: the collect-then-sort
+// discipline and map-to-map folds with no output order to leak.
+package b
+
+import "sort"
+
+// losers is restart's loser-sweep discipline: collect under map order,
+// then sort before anything observes the slice.
+func losers(m map[uint64]bool) []uint64 {
+	var ids []uint64
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// winners sorts through a named helper, recognized by name.
+func winners(m map[uint64]bool) []uint64 {
+	var ids []uint64
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sortTxnIDs(ids)
+	return ids
+}
+
+func sortTxnIDs(ids []uint64) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+// invert folds a map into a map: no ordered output to contaminate.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// sumValues reduces a map commutatively: order cannot show.
+func sumValues(m map[uint64]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

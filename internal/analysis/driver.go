@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Scope maps analyzer name to the import-path substrings it applies to.
+// An analyzer with no entry applies everywhere. Scoping is the driver's
+// job, not the analyzers': fixtures exercise analyzers directly, and the
+// scope table lives with the cclint configuration.
+type Scope map[string][]string
+
+// Allows reports whether the analyzer runs over the package.
+func (s Scope) Allows(analyzer, pkgPath string) bool {
+	subs, ok := s[analyzer]
+	if !ok || len(subs) == 0 {
+		return true
+	}
+	for _, sub := range subs {
+		if strings.Contains(pkgPath, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// Result is one cclint run: unsuppressed findings (failures) and
+// suppressed ones (reported in the summary with their justifications).
+type Result struct {
+	Findings   []Diagnostic
+	Suppressed []Diagnostic
+}
+
+// RunRoot loads the packages matched by patterns under dir and applies
+// every in-scope analyzer, folding //lint:ignore suppressions.
+func RunRoot(dir string, patterns []string, analyzers []*Analyzer, scopes Scope) (*Result, error) {
+	pkgs, err := Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for _, pkg := range pkgs {
+		var active []*Analyzer
+		for _, a := range analyzers {
+			if scopes.Allows(a.Name, pkg.Path) {
+				active = append(active, a)
+			}
+		}
+		if len(active) == 0 {
+			continue
+		}
+		diags, err := RunAnalyzers(pkg, active)
+		if err != nil {
+			return nil, err
+		}
+		diags = ApplySuppressions(pkg, diags)
+		for _, d := range diags {
+			if d.Suppressed {
+				res.Suppressed = append(res.Suppressed, d)
+			} else {
+				res.Findings = append(res.Findings, d)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Summary renders the per-analyzer finding and suppression counts plus
+// each suppression's justification — the artifact the CI lint job
+// uploads, so silenced invariants stay visible.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	counts := map[string][2]int{}
+	for _, d := range r.Findings {
+		c := counts[d.Analyzer]
+		c[0]++
+		counts[d.Analyzer] = c
+	}
+	for _, d := range r.Suppressed {
+		c := counts[d.Analyzer]
+		c[1]++
+		counts[d.Analyzer] = c
+	}
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(&b, "cclint: %d finding(s), %d suppression(s)\n",
+		len(r.Findings), len(r.Suppressed))
+	for _, n := range names {
+		fmt.Fprintf(&b, "  %-18s findings=%d suppressed=%d\n", n, counts[n][0], counts[n][1])
+	}
+	if len(r.Suppressed) > 0 {
+		b.WriteString("suppressions:\n")
+		for _, d := range r.Suppressed {
+			fmt.Fprintf(&b, "  %s: %s: %s — justified: %s\n",
+				d.Pos, d.Analyzer, d.Message, d.Justification)
+		}
+	}
+	return b.String()
+}

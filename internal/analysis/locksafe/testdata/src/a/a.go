@@ -1,0 +1,48 @@
+// Package a holds locksafe's failing fixtures: latch acquires that some
+// exit path fails to release, including PR 3's leak-on-error-return.
+package a
+
+import (
+	"errors"
+	"sync"
+)
+
+var errBoom = errors.New("boom")
+
+type obj struct {
+	mu   sync.Mutex
+	gate sync.RWMutex
+}
+
+// leakOnError is PR 3's exact regression shape: Commit/Abort returned on
+// their error exits with the object latch still held, wedging the object.
+func leakOnError(o *obj, fail bool) error {
+	o.mu.Lock()
+	if fail {
+		return errBoom // want `lock o\.mu acquired at .* is not released on this return path`
+	}
+	o.mu.Unlock()
+	return nil
+}
+
+// leakAtExit falls off the end of the function with the latch held.
+func leakAtExit(o *obj) {
+	o.mu.Lock()
+} // want `lock o\.mu acquired at .* is not released on this function exit path`
+
+// rlockLeak leaks in read mode: R-acquires are tracked separately.
+func rlockLeak(o *obj, fail bool) error {
+	o.gate.RLock()
+	if fail {
+		return errBoom // want `lock o\.gate/R acquired at .* is not released on this return path`
+	}
+	o.gate.RUnlock()
+	return nil
+}
+
+// lockInLoop accumulates a latch per iteration.
+func lockInLoop(o *obj, n int) {
+	for i := 0; i < n; i++ { // want `lock state changes across loop iterations`
+		o.mu.Lock()
+	}
+}

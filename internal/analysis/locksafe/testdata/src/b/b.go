@@ -1,0 +1,82 @@
+// Package b holds locksafe's passing fixtures: every release discipline
+// the engine actually uses — defer, per-branch unlocks, the deferred
+// ungate closure, and worker-goroutine bodies.
+package b
+
+import (
+	"errors"
+	"sync"
+)
+
+var errBoom = errors.New("boom")
+
+type obj struct {
+	mu   sync.Mutex
+	gate sync.RWMutex
+}
+
+func work() error { return nil }
+
+func deferRelease(o *obj) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return work()
+}
+
+func perBranch(o *obj, fail bool) error {
+	o.mu.Lock()
+	if fail {
+		o.mu.Unlock()
+		return errBoom
+	}
+	o.mu.Unlock()
+	return nil
+}
+
+// ungatePattern is the checkpoint gate idiom: a deferred local closure
+// releases the latch, idempotently.
+func ungatePattern(o *obj) error {
+	o.gate.Lock()
+	gated := true
+	ungate := func() {
+		if gated {
+			gated = false
+			o.gate.Unlock()
+		}
+	}
+	defer ungate()
+	return work()
+}
+
+// earlyUngate releases through the closure on the fast path and leaves
+// the deferred call to cover the slow path.
+func earlyUngate(o *obj, fast bool) error {
+	o.gate.Lock()
+	ungate := func() { o.gate.Unlock() }
+	defer ungate()
+	if fast {
+		ungate()
+		return nil
+	}
+	return work()
+}
+
+// worker checks goroutine bodies as functions in their own right.
+func worker(o *obj) {
+	go func() {
+		o.mu.Lock()
+		defer o.mu.Unlock()
+		work()
+	}()
+}
+
+// readThenWrite releases the read latch before taking the write latch.
+func readThenWrite(o *obj) {
+	o.gate.RLock()
+	dirty := true
+	o.gate.RUnlock()
+	if dirty {
+		o.gate.Lock()
+		o.gate.Unlock()
+	}
+}

@@ -1,0 +1,12 @@
+package stagebeforemutate_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/stagebeforemutate"
+)
+
+func TestStageBeforeMutate(t *testing.T) {
+	analysistest.Run(t, "testdata", stagebeforemutate.Analyzer, "a", "b")
+}

@@ -1,0 +1,60 @@
+// Package b holds stagebeforemutate's passing fixtures: stage-first
+// ordering, REDO-only paths that never stage, and conditional staging.
+package b
+
+import "wal"
+
+type UndoLog struct {
+	log     *wal.Log
+	current map[string]int
+	chain   map[uint64][]int
+}
+
+// stageThenWrite is the discipline: the record is durable-stageable
+// before the in-place state moves.
+func (u *UndoLog) stageThenWrite(k string, v int) error {
+	if _, err := u.log.AppendAsync(wal.Record{}); err != nil {
+		return err
+	}
+	u.current[k] = v
+	return nil
+}
+
+// redoOnlyApply never stages: replay applies already-logged records, so
+// the mutation needs no new record.
+func (u *UndoLog) redoOnlyApply(k string, v int) {
+	u.current[k] = v
+}
+
+// conditionalStage stages on the undo-mode branch only; the merge ORs
+// the staged flag, so the mutation after the branch stays silent.
+func (u *UndoLog) conditionalStage(k string, v int, undo bool) error {
+	if undo {
+		if _, err := u.log.AppendAsync(wal.Record{}); err != nil {
+			return err
+		}
+	}
+	u.current[k] = v
+	return nil
+}
+
+type Txn struct {
+	log *wal.Log
+}
+
+func (t *Txn) releaseLocks() {}
+
+// commitRightOrder stages the commit record, then releases.
+func (t *Txn) commitRightOrder() error {
+	if _, err := t.log.AppendAsync(wal.Record{}); err != nil {
+		return err
+	}
+	t.releaseLocks()
+	return nil
+}
+
+// abortSweep releases without ever staging on this path — the abort
+// records were staged by the compensation sweep, not here.
+func (t *Txn) abortSweep() {
+	t.releaseLocks()
+}

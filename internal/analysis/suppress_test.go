@@ -1,0 +1,150 @@
+package analysis_test
+
+// Driver-level tests: the //lint:ignore suppression grammar (justified,
+// justification-free, misnamed, unused) and the Scope table that confines
+// path-sensitive analyzers to the packages whose disciplines they encode.
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/detreplay"
+)
+
+const suppressSrc = `package fix
+
+import "time"
+
+func justified() int64 {
+	return time.Now().UnixNano() //lint:ignore detreplay timing stats only, never replayed
+}
+
+func standalone() int64 {
+	//lint:ignore detreplay covers the next line, standalone form
+	return time.Now().UnixNano()
+}
+
+func unjustified() int64 {
+	return time.Now().UnixNano() //lint:ignore detreplay
+}
+
+func bare() int64 {
+	return time.Now().UnixNano()
+}
+
+func misnamed() int64 {
+	return time.Now().UnixNano() //lint:ignore walerr names the wrong analyzer
+}
+`
+
+func checkFixture(t *testing.T, src string) ([]analysis.Diagnostic, *analysis.Package) {
+	t.Helper()
+	dir := t.TempDir()
+	file := filepath.Join(dir, "fix.go")
+	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	pkg, err := analysis.Check(fset, analysis.NewImporter(fset), "fix", dir, []string{file})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{detreplay.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return analysis.ApplySuppressions(pkg, diags), pkg
+}
+
+func TestSuppressions(t *testing.T) {
+	diags, _ := checkFixture(t, suppressSrc)
+
+	var suppressed, findings []analysis.Diagnostic
+	for _, d := range diags {
+		if d.Suppressed {
+			suppressed = append(suppressed, d)
+		} else {
+			findings = append(findings, d)
+		}
+	}
+	// Suppressed: the justified trailing comment, the standalone
+	// next-line comment, and the (malformed but matching) unjustified one.
+	if len(suppressed) != 3 {
+		t.Fatalf("suppressed = %d, want 3: %v", len(suppressed), suppressed)
+	}
+	for _, d := range suppressed[:2] {
+		if d.Justification == "" {
+			t.Errorf("suppression at %s lost its justification", d.Pos)
+		}
+	}
+	// Findings: bare time.Now, misnamed-analyzer time.Now, the
+	// justification-free suppression's own diagnostic, and the misnamed
+	// (therefore unused) suppression's diagnostic.
+	if len(findings) != 4 {
+		t.Fatalf("findings = %d, want 4: %v", len(findings), findings)
+	}
+	var sawBare, sawMisnamedFinding, sawMalformed, sawUnused bool
+	for _, d := range findings {
+		switch {
+		case d.Analyzer == "detreplay" && strings.Contains(d.Message, "time.Now"):
+			if sawBare {
+				sawMisnamedFinding = true
+			}
+			sawBare = true
+		case d.Analyzer == "cclint" && strings.Contains(d.Message, "needs a justification"):
+			sawMalformed = true
+		case d.Analyzer == "cclint" && strings.Contains(d.Message, "unused lint:ignore"):
+			sawUnused = true
+		}
+	}
+	if !sawBare || !sawMisnamedFinding || !sawMalformed || !sawUnused {
+		t.Errorf("missing finding classes: bare=%v misnamed=%v malformed=%v unused=%v",
+			sawBare, sawMisnamedFinding, sawMalformed, sawUnused)
+	}
+}
+
+func TestSummaryShowsJustifications(t *testing.T) {
+	diags, _ := checkFixture(t, suppressSrc)
+	res := &analysis.Result{}
+	for _, d := range diags {
+		if d.Suppressed {
+			res.Suppressed = append(res.Suppressed, d)
+		} else {
+			res.Findings = append(res.Findings, d)
+		}
+	}
+	s := res.Summary()
+	if !strings.Contains(s, "timing stats only, never replayed") {
+		t.Errorf("summary omits the suppression justification:\n%s", s)
+	}
+	if !strings.Contains(s, "4 finding(s), 3 suppression(s)") {
+		t.Errorf("summary header wrong:\n%s", s)
+	}
+}
+
+func TestScopeAllows(t *testing.T) {
+	scope := analysis.Scope{
+		"detreplay": {"internal/recovery", "internal/history"},
+	}
+	cases := []struct {
+		analyzer, pkg string
+		want          bool
+	}{
+		{"detreplay", "repro/internal/recovery", true},
+		{"detreplay", "repro/internal/history", true},
+		{"detreplay", "repro/internal/wal", false},
+		{"detreplay", "repro/cmd/ccbench", false},
+		// No entry: the analyzer applies everywhere.
+		{"walerr", "repro/internal/wal", true},
+		{"walerr", "repro/examples/escrow", true},
+	}
+	for _, c := range cases {
+		if got := scope.Allows(c.analyzer, c.pkg); got != c.want {
+			t.Errorf("Allows(%s, %s) = %v, want %v", c.analyzer, c.pkg, got, c.want)
+		}
+	}
+}

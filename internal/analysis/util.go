@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CalleeFunc resolves a call to the *types.Func it invokes (method or
+// function), or nil for calls through function values, conversions and
+// builtins.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// ReceiverNamed returns the named type of a method's receiver, looking
+// through pointers; nil for non-methods.
+func ReceiverNamed(f *types.Func) *types.Named {
+	if f == nil {
+		return nil
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// IsMethodOf reports whether the call invokes a method on a type with
+// the given name declared in a package with the given name. Matching by
+// package *name* (not full path) keeps the analyzers honest over both
+// the real engine packages and the analysistest fixture stubs.
+func IsMethodOf(info *types.Info, call *ast.CallExpr, pkgName, typeName string) bool {
+	f := CalleeFunc(info, call)
+	n := ReceiverNamed(f)
+	if n == nil || n.Obj().Name() != typeName {
+		return false
+	}
+	pkg := n.Obj().Pkg()
+	return pkg != nil && pkg.Name() == pkgName
+}
+
+// LastResultIsError reports whether the callee's final result is error.
+func LastResultIsError(info *types.Info, call *ast.CallExpr) bool {
+	f := CalleeFunc(info, call)
+	if f == nil {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}
+
+// IsPkgFunc reports whether the call invokes the named package-level
+// function (e.g. time.Now) from a package with the given name.
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, pkgName string, funcNames ...string) bool {
+	f := CalleeFunc(info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Name() != pkgName {
+		return false
+	}
+	if ReceiverNamed(f) != nil {
+		return false
+	}
+	if len(funcNames) == 0 {
+		return true
+	}
+	for _, n := range funcNames {
+		if f.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncDecls yields every function declaration with a body in the files.
+func FuncDecls(files []*ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// RecvTypeName returns the name of fd's receiver base type ("" for plain
+// functions).
+func RecvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	switch t := t.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr: // generic receiver
+		if id, ok := t.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return ""
+}

@@ -1,0 +1,32 @@
+// Package a holds walerr's failing fixtures: every shape that discards
+// a wal.Log error, including PR 7's bare-Flush swallow.
+package a
+
+import "wal"
+
+// bareFlush is PR 7's exact regression shape: nine read accessors
+// swallowed Flush errors this way before they were rooted out by hand.
+func bareFlush(l *wal.Log) {
+	l.Flush() // want `error result of \(\*wal\.Log\)\.Flush discarded: durability errors must be handled or propagated`
+}
+
+func blankFlush(l *wal.Log) {
+	_ = l.Flush() // want `error result of \(\*wal\.Log\)\.Flush assigned to _`
+}
+
+func blankAppendAsync(l *wal.Log) wal.Ticket {
+	t, _ := l.AppendAsync(wal.Record{}) // want `error result of \(\*wal\.Log\)\.AppendAsync assigned to _`
+	return t
+}
+
+func goFlush(l *wal.Log) {
+	go l.Flush() // want `error result of \(\*wal\.Log\)\.Flush discarded by go statement`
+}
+
+func deferClose(l *wal.Log) {
+	defer l.Close() // want `error result of \(\*wal\.Log\)\.Close discarded by defer`
+}
+
+func bareWait(l *wal.Log, t wal.Ticket) {
+	l.WaitDurable(t) // want `error result of \(\*wal\.Log\)\.WaitDurable discarded`
+}

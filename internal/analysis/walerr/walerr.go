@@ -1,0 +1,85 @@
+// Package walerr flags discarded errors from wal.Log methods.
+//
+// Weihl's recoverability argument only holds if the engine knows whether
+// its log records reached the durability backend: a swallowed Flush,
+// AppendAsync, WaitDurable or accessor error silently converts "durable"
+// into "probably durable", which is exactly how nine bare-Flush swallows
+// crept into the read accessors before PR 7 rooted them out by hand.
+// walerr makes that bug class impossible to reintroduce: every call to a
+// wal.Log method whose final result is error must bind and use the error
+// — expression statements, go/defer statements, and assignments to the
+// blank identifier are all reported.
+package walerr
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the walerr pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "walerr",
+	Doc: "wal.Log methods returning error must not have the error discarded " +
+		"(bare-call, go/defer, or assignment to _); durability errors are part " +
+		"of the recoverability invariant",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					report(pass, call, "discarded")
+				}
+			case *ast.GoStmt:
+				report(pass, n.Call, "discarded by go statement")
+			case *ast.DeferStmt:
+				report(pass, n.Call, "discarded by defer")
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// report flags the call if it is a wal.Log method whose error result the
+// surrounding statement throws away.
+func report(pass *analysis.Pass, call *ast.CallExpr, how string) {
+	if !isWalLogErrCall(pass, call) {
+		return
+	}
+	f := analysis.CalleeFunc(pass.TypesInfo, call)
+	pass.Reportf(call.Pos(),
+		"error result of (*wal.Log).%s %s: durability errors must be handled or propagated",
+		f.Name(), how)
+}
+
+// checkAssign flags `_ = l.Flush()` and `v, _ := l.AppendAsync(r)`: the
+// error occupies the callee's final result position, so the final LHS
+// must not be blank.
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return // parallel assignment: each RHS is single-valued, no call splits
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || !isWalLogErrCall(pass, call) {
+		return
+	}
+	last, ok := as.Lhs[len(as.Lhs)-1].(*ast.Ident)
+	if ok && last.Name == "_" {
+		f := analysis.CalleeFunc(pass.TypesInfo, call)
+		pass.Reportf(call.Pos(),
+			"error result of (*wal.Log).%s assigned to _: durability errors must be handled or propagated",
+			f.Name())
+	}
+}
+
+func isWalLogErrCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	return analysis.IsMethodOf(pass.TypesInfo, call, "wal", "Log") &&
+		analysis.LastResultIsError(pass.TypesInfo, call)
+}

@@ -1,0 +1,12 @@
+package walerr_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/walerr"
+)
+
+func TestWalErr(t *testing.T) {
+	analysistest.Run(t, "testdata", walerr.Analyzer, "a", "b")
+}

@@ -107,7 +107,7 @@ type Snapshot struct {
 	// truncation was disabled or nothing was reclaimed. Diagnostics: the
 	// reopened log's base always equals the newest snapshot's aligned
 	// point, never the raw frontier.
-	TruncatedBefore wal.LSN          `json:"truncated_before,omitempty"`
+	TruncatedBefore wal.LSN `json:"truncated_before,omitempty"`
 	// Discipline records the logging discipline of the engine that took the
 	// snapshot (wal.DisciplineRedo for a redo-only engine; empty means undo
 	// logging). Restart rejects a snapshot whose discipline contradicts the

@@ -92,7 +92,9 @@ func NewDurableEngine(opts Options, d DurabilityOptions) (*Engine, error) {
 	}
 	store, err := checkpoint.OpenFileStore(d.CheckpointDir())
 	if err != nil {
-		log.Close()
+		if cerr := log.Close(); cerr != nil {
+			err = fmt.Errorf("%w (and closing the WAL: %w)", err, cerr)
+		}
 		return nil, fmt.Errorf("txn: durable engine: %w", err)
 	}
 	opts.WAL = log

@@ -270,6 +270,13 @@ type Engine struct {
 	closeOnce sync.Once
 	closeErr  error
 
+	// initErr records a construction-time failure (a closed log handed to
+	// a redo-only NewEngine, so the discipline marker could not be
+	// staged). Register surfaces it: an unbranded redo log must not
+	// accept objects, and the honest error is the branding failure, not
+	// the downstream discipline mismatch it would otherwise look like.
+	initErr error
+
 	// Metrics is exported for the experiment harness.
 	Metrics Metrics
 }
@@ -334,7 +341,9 @@ func NewEngine(opts Options) *Engine {
 		// so restart (and any later engine) detects the discipline from the
 		// log alone. A non-empty unmarked log is NOT branded — it was
 		// written by an undo-mode engine and Register rejects it.
-		log.AppendAsync(wal.DisciplineMarker(wal.DisciplineRedo))
+		if _, err := log.AppendAsync(wal.DisciplineMarker(wal.DisciplineRedo)); err != nil {
+			e.initErr = fmt.Errorf("txn: branding redo-only log: %w", err)
+		}
 	}
 	if opts.Checkpoint != nil && opts.Checkpoint.Store != nil && opts.Checkpoint.Every > 0 {
 		e.ckptQuit = make(chan struct{})
@@ -390,6 +399,9 @@ func (e *Engine) lookup(id history.ObjectID) (*managedObject, bool) {
 // Register creates an object backed by the machine of ty, locked by rel,
 // recovered per kind. Registering a duplicate ID is a programming error.
 func (e *Engine) Register(id history.ObjectID, ty adt.Type, rel commute.Relation, kind RecoveryKind) error {
+	if e.initErr != nil {
+		return e.initErr
+	}
 	var store recovery.Store
 	switch kind {
 	case UndoLogRecovery:
@@ -673,7 +685,13 @@ func (t *Txn) terminate(objs []history.ObjectID, committed int, cause error) err
 	}
 	e.detector.ClearWaits(t.id)
 	if t.wroteWAL {
-		e.log.Flush() // push compensation records; failures stay in Err
+		// Push the staged compensation records. A flush failure here means
+		// the terminated transaction's undo trail may not be durable; the
+		// caller's cause stays primary, with the flush failure joined so
+		// neither is silent.
+		if ferr := e.log.Flush(); ferr != nil {
+			cause = fmt.Errorf("%w (and flushing compensation records: %w)", cause, ferr)
+		}
 	}
 	return cause
 }
@@ -870,8 +888,9 @@ func (t *Txn) Commit() error {
 	var err error
 	if pol == releaseEarlyUnsafe {
 		if t.wroteWAL {
-			e.log.Flush()
-			err = e.log.Err()
+			if err = e.log.Flush(); err == nil {
+				err = e.log.Err()
+			}
 		}
 	} else {
 		err = barrier()
@@ -928,13 +947,14 @@ func (t *Txn) Abort() error {
 	}
 	e.detector.ClearWaits(t.id)
 	if t.wroteWAL {
-		e.log.Flush()
-		if firstErr == nil {
-			if err := e.log.Err(); err != nil {
-				e.Metrics.DurabilityFailures.Add(1)
-				return fmt.Errorf("txn %s: aborted in memory but WAL backend failed: %w: %w",
-					t.id, ErrDurability, err)
-			}
+		ferr := e.log.Flush()
+		if ferr == nil {
+			ferr = e.log.Err()
+		}
+		if firstErr == nil && ferr != nil {
+			e.Metrics.DurabilityFailures.Add(1)
+			return fmt.Errorf("txn %s: aborted in memory but WAL backend failed: %w: %w",
+				t.id, ErrDurability, ferr)
 		}
 	}
 	if firstErr != nil {
