@@ -11,18 +11,21 @@
 // sweep (restart time and replayed-record count versus log length with
 // fuzzy checkpointing off/on), the segmented-restart sweep (truncation
 // cost and parallel two-pass restart across WAL backend × segment size ×
-// restart parallelism), and the logging-discipline sweep (log bytes per
+// restart parallelism), the logging-discipline sweep (log bytes per
 // commit, commit hold, and restart work under undo logging versus
-// REDO-only dependency logging, per WAL backend).
+// REDO-only dependency logging, per WAL backend), and the commit-pipeline
+// sweep (the sharded, commit-LSN-ordered commit pipeline over the
+// copy-on-write registry versus the legacy sequential sweep over the
+// locked registry, measured by lock-acquisition counts).
 //
 // Usage:
 //
 //	ccbench                            # full suite at default sizes
 //	ccbench -quick                     # reduced sizes
-//	ccbench -experiment mass           # one of: mass, banking, pool, recovery, scaling, flush, release, checkpoint, restart, redo
+//	ccbench -experiment mass           # one of: mass, banking, pool, recovery, scaling, flush, release, checkpoint, restart, redo, pipeline
 //	ccbench -experiment scaling,flush  # a comma-separated subset
 //	ccbench -shards 8                  # fix the engine shard count (0 = sweep 1..16)
-//	ccbench -json                      # also write BENCH_engine.json (scaling/flush/release/checkpoint/restart/redo points)
+//	ccbench -json                      # also write BENCH_engine.json (scaling/flush/release/checkpoint/restart/redo/pipeline points)
 package main
 
 import (
@@ -67,6 +70,7 @@ var experimentOrder = []struct {
 	{"checkpoint", checkpointExperiment},
 	{"restart", restartExperiment},
 	{"redo", redoExperiment},
+	{"pipeline", pipelineExperiment},
 }
 
 func experimentNames() string {
@@ -87,6 +91,7 @@ type benchDoc struct {
 	Checkpoint []sim.CheckpointPoint `json:"checkpoint,omitempty"`
 	Restart    []sim.RestartPoint    `json:"restart,omitempty"`
 	Redo       []sim.RedoPoint       `json:"redo,omitempty"`
+	Pipeline   []sim.PipelinePoint   `json:"pipeline,omitempty"`
 }
 
 var benchOut benchDoc
@@ -177,6 +182,41 @@ func sortedKeys(m map[string]json.RawMessage) []string {
 	}
 	sort.Strings(keys)
 	return keys
+}
+
+// pipelineExperiment measures the commit-pipeline refactor (E20): the
+// banking workload under moderate zipf skew runs once per arm — the
+// legacy sequential commit sweep over the lock-guarded registry versus
+// the sharded, commit-LSN-ordered pipeline over the copy-on-write
+// registry — under each release policy. Wall-clock columns on a 1-vCPU
+// box are ordinal only; the machine-independent signals are the lock
+// acquisition counters: registry lock acquisitions per operation (zero in
+// the CoW arm — the lock-free read path's acceptance criterion) and WAL
+// staging-stripe acquisitions per commit (batch staging merges a shard's
+// per-object commit records into one acquisition), plus the commit-time
+// lock hold and dependency-stall counts the ordered release affects.
+func pipelineExperiment(quick bool) {
+	cfg := sim.DefaultPipelineConfig()
+	policies := []txn.ReleasePolicy{txn.ReleaseEarlyTracked, txn.ReleaseAfterAck}
+	if quick {
+		cfg.TxnsPerWorker = 30
+		policies = policies[:1]
+	}
+	pts, err := sim.PipelineSweep(sim.UIPNRBC, cfg, policies)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ccbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(sim.RenderPipelineTable(
+		fmt.Sprintf("E20 — commit-pipeline sweep, %d accounts, %d workers, zipf %.1f, dwell %dus, GOMAXPROCS=%d (pipeline × registry × release policy)",
+			cfg.Objects, cfg.Workers, cfg.ZipfS, cfg.BatchInterval.Microseconds(), runtime.GOMAXPROCS(0)), pts))
+	fmt.Println("shape: the CoW registry's reg-acq/op column is exactly zero (the legacy arm")
+	fmt.Println("pays several per operation — lookup on invoke plus the commit sweep), and")
+	fmt.Println("batch staging drops wal-acq/txn below the sequential arm's one-per-record")
+	fmt.Println("rate; hold(us) and txn/s are wall-clock-ordinal on 1 vCPU — the acquisition")
+	fmt.Println("columns are the machine-independent signal.")
+	fmt.Println()
+	benchOut.Pipeline = pts
 }
 
 // redoExperiment measures the logging-discipline trade-off (E19): the
@@ -349,35 +389,49 @@ func flushExperiment(quick bool) {
 	benchOut.Flush = pts
 }
 
-// scalingExperiment measures the wide-object workload across shard counts
-// (E14): with one shard the engine degenerates to a single-mutex registry
-// — the pre-sharding design — so the sweep is the scaling-curve artifact.
-// Each shard count is measured under two operation mixes: the update-heavy
-// default and the read-mostly variant (90% balance reads), which isolates
-// the registry/locking read path from recovery costs. With -json the
-// points are written to BENCH_engine.json.
+// scalingExperiment measures the wide-object workload across the joint
+// shard-count × zipf-skew grid (E14): with one shard the engine
+// degenerates to a single-mutex registry — the pre-sharding design — and
+// with skew the key distribution collapses onto hot objects, so the grid
+// shows where sharding pays and where contention takes it back. Each grid
+// cell is measured under three operation mixes: the update-heavy default,
+// the read-mostly variant (90% balance reads, isolating the
+// registry/locking read path from recovery costs), and a long-read
+// variant pinning 10% of the read-mostly transactions open for a 32-op
+// scan against the update stream. With -json the points are written to
+// BENCH_engine.json.
 func scalingExperiment(quick bool) {
 	counts := []int{1, 2, 4, 8, 16}
 	if *flagShards > 0 {
 		counts = []int{*flagShards}
 	}
+	skews := []float64{0, 1.3}
+	longRead := sim.ReadMostlyScalingConfig()
+	longRead.LongReadPct = 10
+	longRead.LongReadOps = 32
+	longRead.Mix = "read-mostly+longread"
+	configs := []sim.ScalingConfig{sim.DefaultScalingConfig(), sim.ReadMostlyScalingConfig(), longRead}
+	if quick {
+		skews = []float64{0}
+	}
 	var pts []sim.ScalingPoint
-	for _, cfg := range []sim.ScalingConfig{sim.DefaultScalingConfig(), sim.ReadMostlyScalingConfig()} {
+	for _, cfg := range configs {
 		if quick {
 			cfg.TxnsPerWorker = 60
 		}
 		for _, s := range []sim.Scheduler{sim.UIPNRBC, sim.DUNFC} {
-			pts = append(pts, sim.ScalingSweep(s, cfg, counts)...)
+			pts = append(pts, sim.ScalingGridSweep(s, cfg, skews, counts)...)
 		}
 	}
 	base := sim.DefaultScalingConfig()
 	fmt.Println(sim.RenderScalingTable(
-		fmt.Sprintf("E14 — engine scaling sweep, %d objects, %d workers, GOMAXPROCS=%d (shards=1 is the single-mutex design; update-heavy vs read-mostly mix)",
+		fmt.Sprintf("E14 — engine scaling sweep, %d objects, %d workers, GOMAXPROCS=%d (shards × zipf skew; shards=1 is the single-mutex design; update-heavy vs read-mostly vs long-read mix)",
 			base.Objects, base.Workers, runtime.GOMAXPROCS(0)), pts))
 	fmt.Println("shape: ops/s grows with shard count until the hardware parallelism or the")
-	fmt.Println("workload's conflict mass is exhausted; the read-mostly mix keeps the same")
-	fmt.Println("operation-logging traffic but nearly removes conflicts, so it measures the")
-	fmt.Println("harness's per-operation floor; the per-shard histories always merge into one")
+	fmt.Println("workload's conflict mass is exhausted, and skew flattens the shard curve —")
+	fmt.Println("sharding only pays while keys spread; the read-mostly mix measures the")
+	fmt.Println("harness's per-operation floor, the long-read mix pits pinned-open scans")
+	fmt.Println("against the update stream, and the per-shard histories always merge into one")
 	fmt.Println("totally ordered history (verified by the sim tests).")
 	fmt.Println()
 	benchOut.Scaling = pts

@@ -14,8 +14,12 @@
 // realizing DU.
 //
 // The engine is built to scale with cores while staying auditable: the
-// object registry is striped over a power-of-two shard array (object
-// lookup is a hash, no engine-wide lock on the operation path), each shard
+// object registry is striped over a power-of-two shard array, each shard
+// publishing its object map through an atomic copy-on-write snapshot
+// (stripe.CowMap) — object lookup is a hash plus one atomic load, with
+// zero lock acquisitions on the hit path (proven by a counter, not by
+// timing: Metrics.RegistryLockAcqs stays exactly zero), while
+// registration copies the map under a writer-only mutex. Each shard
 // records events into its own buffer stamped from one global atomic
 // sequence, and Engine.History() merges the buffers back into the single
 // totally ordered history the checkers replay. The write-ahead log is
@@ -46,6 +50,21 @@
 // the abort path instead of acknowledging commits the log will never
 // contain. Either way, no acknowledged commit ever reads from an unsynced
 // loser.
+//
+// Txn.Commit's phase-2 sweep is itself sharded
+// (txn.Options.CommitPipeline, default PipelineSharded): participants are
+// grouped per registry shard, each shard's per-object commit records are
+// staged through one WAL stripe acquisition (wal.Log.AppendBatchAsync —
+// sound outside the checkpoint gate because restart decides by the
+// transaction-level winner set, never by per-object commit records
+// alone), the gate is held only for the discharge-to-TxnCommitRec
+// decision window, and locks release shard-by-shard in commit-LSN order:
+// each shard admits its committers strictly by their TxnCommitRec stage
+// tickets (the stamp order the WAL's LSNs refine), so a later commit
+// never exposes its writes in a shard before an earlier one does.
+// PipelineSequential keeps the legacy per-object sweep as the measured
+// "before" arm, and E20 counts the difference in lock acquisitions —
+// machine-independent — rather than wall clock.
 //
 // Restart cost is bounded by fuzzy checkpointing (internal/checkpoint,
 // txn.Engine.Checkpoint): a checkpointer walks the striped registry shard
@@ -112,14 +131,16 @@
 // lint job fails on any unsuppressed diagnostic.
 //
 // The benchmarks in bench_test.go regenerate every table and figure of the
-// paper plus the engine scaling sweep (shards × GOMAXPROCS × operation
-// mix, including a read-mostly variant), the group-commit flush sweep
-// (flusher dwell × sync latency), the lock-release-policy sweep
-// (policy × sync latency × contention skew), the checkpointed-restart
-// sweep (restart cost × log length), and the segmented-restart sweep
-// (backend × segment size × restart parallelism), and the
-// logging-discipline sweep (undo vs REDO-only × backend); `ccbench
-// -experiment scaling,flush,release,checkpoint,restart,redo -json`
-// writes them to BENCH_engine.json. See EXPERIMENTS.md for the
-// methodology and the 1-vCPU measurement caveats.
+// paper plus the engine scaling sweep (shards × zipf skew × operation
+// mix, including read-mostly and pinned-open long-read variants), the
+// group-commit flush sweep (flusher dwell × sync latency), the
+// lock-release-policy sweep (policy × sync latency × contention skew),
+// the checkpointed-restart sweep (restart cost × log length), the
+// segmented-restart sweep (backend × segment size × restart
+// parallelism), the logging-discipline sweep (undo vs REDO-only ×
+// backend), and the commit-pipeline sweep (sharded/CoW vs
+// sequential/locked, by lock-acquisition counts); `ccbench -experiment
+// scaling,flush,release,checkpoint,restart,redo,pipeline -json` writes
+// them to BENCH_engine.json. See EXPERIMENTS.md for the methodology and
+// the 1-vCPU measurement caveats.
 package repro

@@ -15,10 +15,22 @@
 // is taken as the first argument of a sync/atomic function; pass 2 flags
 // every other selector access to those fields — plain reads, plain
 // writes, and address-taking outside sync/atomic calls.
+//
+// The analyzer also understands the typed atomic.Pointer[T] and the
+// copy-on-write discipline built on it (stripe.CowMap, the engine's
+// lock-free object registry): a value reached through Pointer.Load is a
+// published immutable snapshot, shared with every concurrent reader.
+// Writers must copy, mutate the copy, and Store the copy — never mutate
+// the loaded value in place. Within each function body the analyzer
+// tracks pointers (and their dereferenced values) obtained from
+// atomic.Pointer Load calls, through local aliases, and flags in-place
+// mutation: stores through the loaded pointer, field writes on it, and
+// map index assignment, increment, or delete on a loaded map.
 package atomicfield
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 
 	"repro/internal/analysis"
@@ -28,11 +40,15 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "atomicfield",
 	Doc: "a struct field accessed via sync/atomic must never be read or " +
-		"written plainly elsewhere in the package",
+		"written plainly elsewhere in the package, and values loaded from " +
+		"atomic.Pointer must never be mutated in place (copy-on-write)",
 	Run: run,
 }
 
 func run(pass *analysis.Pass) error {
+	for _, fd := range analysis.FuncDecls(pass.Files) {
+		checkCow(pass, fd.Body)
+	}
 	// Pass 1: fields used atomically, keyed by their types.Var, with the
 	// set of &x.f selector nodes that appear inside atomic calls (these
 	// are the sanctioned uses pass 2 must skip).
@@ -83,6 +99,120 @@ func run(pass *analysis.Pass) error {
 		})
 	}
 	return nil
+}
+
+// Classes a tracked expression or variable can have in the CoW check.
+const (
+	cowPtr = "ptr" // a pointer returned by atomic.Pointer.Load
+	cowVal = "val" // the value that pointer dereferences to
+)
+
+// checkCow flags in-place mutation of values loaded from an
+// atomic.Pointer within one function body. Loaded pointers are tracked
+// through local aliases to a fixpoint (`cur := p.Load(); m := *cur`), so
+// the check survives the idiomatic two-step deref.
+func checkCow(pass *analysis.Pass, body *ast.BlockStmt) {
+	// Collect local variables holding a loaded pointer or its deref.
+	loaded := map[*types.Var]string{}
+	classify := func(e ast.Expr) string { return classifyExpr(pass, loaded, e) }
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i := range as.Rhs {
+				cls := classify(as.Rhs[i])
+				if cls == "" {
+					continue
+				}
+				id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if v, ok := pass.TypesInfo.ObjectOf(id).(*types.Var); ok && loaded[v] != cls {
+					loaded[v] = cls
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	// A mutation target is "loaded" if it is a loaded value directly or
+	// the dereference of a loaded pointer (or of a Load call inline).
+	isLoadedVal := func(e ast.Expr) bool { return classify(e) == cowVal }
+	report := func(pos token.Pos, what string) {
+		pass.Reportf(pos,
+			"%s a value loaded from atomic.Pointer: loaded snapshots are shared with "+
+				"concurrent readers — copy, mutate the copy, then Store the copy",
+			what)
+	}
+	flagLHS := func(l ast.Expr) {
+		switch l := ast.Unparen(l).(type) {
+		case *ast.IndexExpr:
+			if isLoadedVal(l.X) {
+				report(l.Pos(), "in-place map write to")
+			}
+		case *ast.StarExpr:
+			if classify(l.X) == cowPtr {
+				report(l.Pos(), "store through")
+			}
+		case *ast.SelectorExpr:
+			if classify(l.X) == cowPtr || isLoadedVal(l.X) {
+				report(l.Pos(), "field write to")
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				flagLHS(l)
+			}
+		case *ast.IncDecStmt:
+			flagLHS(n.X)
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "delete" &&
+				pass.TypesInfo.Uses[id] == types.Universe.Lookup("delete") && len(n.Args) > 0 {
+				if isLoadedVal(n.Args[0]) {
+					report(n.Pos(), "delete from")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// classifyExpr resolves e to cowPtr/cowVal when it is a tracked local
+// variable, an inline Pointer.Load call, or a dereference of either.
+func classifyExpr(pass *analysis.Pass, loaded map[*types.Var]string, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.ObjectOf(e).(*types.Var); ok {
+			return loaded[v]
+		}
+	case *ast.CallExpr:
+		if isPointerLoad(pass, e) {
+			return cowPtr
+		}
+	case *ast.StarExpr:
+		if classifyExpr(pass, loaded, e.X) == cowPtr {
+			return cowVal
+		}
+	}
+	return ""
+}
+
+// isPointerLoad reports whether the call is atomic.Pointer[T].Load.
+func isPointerLoad(pass *analysis.Pass, call *ast.CallExpr) bool {
+	f := analysis.CalleeFunc(pass.TypesInfo, call)
+	if f == nil || f.Name() != "Load" {
+		return false
+	}
+	n := analysis.ReceiverNamed(f)
+	return n != nil && n.Obj().Name() == "Pointer" &&
+		n.Obj().Pkg() != nil && n.Obj().Pkg().Name() == "atomic"
 }
 
 // isAtomicCall reports whether the call targets a sync/atomic function

@@ -26,3 +26,50 @@ func (c *counter) plainWrite() {
 func (c *counter) leakAddr() *int64 {
 	return &c.n // want `plain access to field n`
 }
+
+// registry is the copy-on-write shape: every value published through the
+// atomic.Pointer is an immutable snapshot. The methods below break the
+// discipline by mutating loaded snapshots in place.
+type registry struct {
+	m atomic.Pointer[map[string]int]
+}
+
+// badInsert writes through a loaded pointer held in a local.
+func (r *registry) badInsert(k string, v int) {
+	cur := r.m.Load()
+	(*cur)[k] = v // want `in-place map write to a value loaded from atomic.Pointer`
+}
+
+// badInsertInline writes through the Load call directly.
+func (r *registry) badInsertInline(k string, v int) {
+	(*r.m.Load())[k] = v // want `in-place map write to a value loaded from atomic.Pointer`
+}
+
+// badDelete tracks the loaded map through a deref alias.
+func (r *registry) badDelete(k string) {
+	m := *r.m.Load()
+	delete(m, k) // want `delete from a value loaded from atomic.Pointer`
+}
+
+// badBump mutates an entry of the shared snapshot.
+func (r *registry) badBump(k string) {
+	m := *r.m.Load()
+	m[k]++ // want `in-place map write to a value loaded from atomic.Pointer`
+}
+
+type node struct{ next int }
+
+type box struct {
+	p atomic.Pointer[node]
+}
+
+// badField writes a field of the shared snapshot through the pointer.
+func (b *box) badField() {
+	n := b.p.Load()
+	n.next = 1 // want `field write to a value loaded from atomic.Pointer`
+}
+
+// badStore overwrites the shared snapshot through the loaded pointer.
+func (b *box) badStore() {
+	*b.p.Load() = node{} // want `store through a value loaded from atomic.Pointer`
+}

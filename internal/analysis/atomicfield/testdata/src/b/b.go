@@ -3,7 +3,10 @@
 // atomic wrappers that are immune by construction.
 package b
 
-import "sync/atomic"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 type counter struct {
 	n    int64
@@ -32,3 +35,33 @@ type gauge struct {
 
 func (g *gauge) set(x int64) { g.v.Store(x) }
 func (g *gauge) get() int64  { return g.v.Load() }
+
+// registry is the correct copy-on-write shape: readers dereference the
+// loaded snapshot without mutating it, and the writer mutates only its
+// private copy before publishing it with Store.
+type registry struct {
+	mu sync.Mutex
+	m  atomic.Pointer[map[string]int]
+}
+
+func (r *registry) get(k string) (int, bool) {
+	m := r.m.Load()
+	if m == nil {
+		return 0, false
+	}
+	v, ok := (*m)[k]
+	return v, ok
+}
+
+func (r *registry) insert(k string, v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	next := make(map[string]int)
+	if cur := r.m.Load(); cur != nil {
+		for kk, vv := range *cur {
+			next[kk] = vv
+		}
+	}
+	next[k] = v // the private copy: mutation here is the whole point
+	r.m.Store(&next)
+}

@@ -203,7 +203,7 @@ func isStage(pass *analysis.Pass, call *ast.CallExpr) bool {
 		return false
 	}
 	f := analysis.CalleeFunc(pass.TypesInfo, call)
-	return f.Name() == "Append" || f.Name() == "AppendAsync"
+	return f.Name() == "Append" || f.Name() == "AppendAsync" || f.Name() == "AppendBatchAsync"
 }
 
 // undoLogMutation recognizes direct statements mutating the receiver's
@@ -262,12 +262,12 @@ func releaseCall(recv string, s ast.Stmt) (token.Pos, string, bool) {
 		return token.NoPos, "", false
 	}
 	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != "releaseLocks" {
+	if !ok || (sel.Sel.Name != "releaseLocks" && sel.Sel.Name != "releaseLocksOrdered") {
 		return token.NoPos, "", false
 	}
 	id, ok := sel.X.(*ast.Ident)
 	if !ok || id.Name != recv {
 		return token.NoPos, "", false
 	}
-	return es.Pos(), "lock release " + recv + ".releaseLocks", true
+	return es.Pos(), "lock release " + recv + "." + sel.Sel.Name, true
 }

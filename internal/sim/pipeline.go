@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/adt"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// PipelineConfig parameterizes the commit-pipeline experiment: the shared
+// banking workload against an asynchronous WAL, with the commit-pipeline
+// shape and registry implementation as the independent variables. The
+// "sequential" arm pairs the legacy per-object commit sweep with the
+// legacy lock-guarded registry — the engine as it was before the
+// lock-free refactor — and the "sharded" arm pairs the shard-grouped,
+// commit-LSN-ordered pipeline with the copy-on-write registry. Wall-clock
+// numbers are machine-bound (and nearly meaningless on 1 vCPU, where the
+// arms serialize anyway); the machine-independent signal is the lock
+// acquisition counters — registry lock acquisitions per operation and WAL
+// stripe acquisitions per commit — which count protocol structure, not
+// scheduling luck.
+type PipelineConfig struct {
+	FlushConfig
+	Policy   txn.ReleasePolicy
+	Pipeline txn.CommitPipeline
+	// LegacyRegistry routes lookups through the pre-CoW per-shard RWMutex.
+	LegacyRegistry bool
+}
+
+// DefaultPipelineConfig is the flush workload with a short flusher dwell
+// and moderate zipf skew, so commit grouping has contention to expose.
+func DefaultPipelineConfig() PipelineConfig {
+	cfg := PipelineConfig{FlushConfig: DefaultFlushConfig()}
+	cfg.BatchInterval = 100 * time.Microsecond
+	cfg.TxnsPerWorker = 150
+	cfg.ZipfS = 1.2
+	return cfg
+}
+
+// PipelinePoint is one measured point of the pipeline × policy sweep.
+type PipelinePoint struct {
+	Scheduler        string  `json:"scheduler"`
+	Pipeline         string  `json:"pipeline"`
+	Registry         string  `json:"registry"`
+	Policy           string  `json:"policy"`
+	ZipfS            float64 `json:"zipf_s,omitempty"`
+	Workers          int     `json:"workers"`
+	Shards           int     `json:"shards"`
+	Commits          int64   `json:"commits"`
+	Aborts           int64   `json:"aborts"`
+	Blocked          int64   `json:"blocked"`
+	DependencyStalls int64   `json:"dependency_stalls"`
+	Operations       int64   `json:"operations"`
+	// MeanHoldUS is the mean commit-protocol lock hold (CommitHoldNS per
+	// commit) — the window the sharded pipeline shrinks by releasing
+	// shard-by-shard as soon as each shard's turn comes.
+	MeanHoldUS float64 `json:"mean_hold_us"`
+	// RegistryLockAcqs counts registry lock acquisitions (zero for the
+	// CoW registry — the acceptance criterion of the lock-free read path);
+	// RegistryAcqsPerOp normalizes by operations.
+	RegistryLockAcqs  int64   `json:"registry_lock_acqs"`
+	RegistryAcqsPerOp float64 `json:"registry_acqs_per_op"`
+	// WALStripeAcqs counts staging-stripe acquisitions by appenders;
+	// WALAcqsPerCommit normalizes by commits. Batch staging collapses a
+	// shard's per-object records into one acquisition.
+	WALStripeAcqs    int64   `json:"wal_stripe_acqs"`
+	WALAcqsPerCommit float64 `json:"wal_acqs_per_commit"`
+	CommitP50US      float64 `json:"commit_p50_us"`
+	CommitP99US      float64 `json:"commit_p99_us"`
+	TxnPerSec        float64 `json:"txn_per_sec"`
+	ElapsedNS        int64   `json:"elapsed_ns"`
+}
+
+// RunPipeline executes the workload under the configured pipeline shape
+// and registry implementation against an asynchronous flusher, measuring
+// commit latency, commit-time lock hold, and the lock-acquisition
+// counters.
+func RunPipeline(s Scheduler, cfg PipelineConfig) (PipelinePoint, error) {
+	backend := wal.NewLatencyBackend(cfg.SyncLatency, nil)
+	log, err := wal.Open(wal.Config{
+		Async:         true,
+		BatchInterval: cfg.BatchInterval,
+		MaxBatch:      cfg.MaxBatch,
+		Backend:       backend,
+	})
+	if err != nil {
+		return PipelinePoint{}, err
+	}
+	ba := adt.BankAccount{
+		InitialBalance: cfg.InitialBalance,
+		MaxBalance:     12,
+		Amounts:        []int{1, 2, 3},
+	}
+	rel := bankRelation(s, adt.DefaultBankAccount())
+	e := txn.NewEngine(txn.Options{
+		Shards:               cfg.Shards,
+		WAL:                  log,
+		ReleasePolicy:        cfg.Policy,
+		CommitPipeline:       cfg.Pipeline,
+		LegacyLockedRegistry: cfg.LegacyRegistry,
+	})
+	for i := 0; i < cfg.Objects; i++ {
+		e.MustRegister(scalingObjID(i), ba, rel, s.Kind())
+	}
+
+	latencies := make([][]time.Duration, cfg.Workers)
+	start := time.Now()
+	runBankWorkers(e, cfg.ScalingConfig, func(w int, d time.Duration) {
+		latencies[w] = append(latencies[w], d)
+	})
+	elapsed := time.Since(start)
+	stripeAcqs := log.StripeAcquisitions()
+	if err := e.Close(); err != nil {
+		return PipelinePoint{}, err
+	}
+
+	var all []time.Duration
+	for _, ls := range latencies {
+		all = append(all, ls...)
+	}
+	registry := "cow"
+	if cfg.LegacyRegistry {
+		registry = "legacy-locked"
+	}
+	p := PipelinePoint{
+		Scheduler:        s.String(),
+		Pipeline:         cfg.Pipeline.String(),
+		Registry:         registry,
+		Policy:           cfg.Policy.String(),
+		ZipfS:            cfg.ZipfS,
+		Workers:          cfg.Workers,
+		Shards:           e.Shards(),
+		Commits:          e.Metrics.Commits.Load(),
+		Aborts:           e.Metrics.Aborts.Load(),
+		Blocked:          e.Metrics.Blocked.Load(),
+		DependencyStalls: e.Metrics.DependencyStalls.Load(),
+		Operations:       e.Metrics.Operations.Load(),
+		RegistryLockAcqs: e.Metrics.RegistryLockAcqs.Load(),
+		WALStripeAcqs:    stripeAcqs,
+		CommitP50US:      float64(percentile(all, 50)) / 1e3,
+		CommitP99US:      float64(percentile(all, 99)) / 1e3,
+		ElapsedNS:        elapsed.Nanoseconds(),
+	}
+	if p.Commits > 0 {
+		p.MeanHoldUS = float64(e.Metrics.CommitHoldNS.Load()) / float64(p.Commits) / 1e3
+		p.WALAcqsPerCommit = float64(p.WALStripeAcqs) / float64(p.Commits)
+	}
+	if p.Operations > 0 {
+		p.RegistryAcqsPerOp = float64(p.RegistryLockAcqs) / float64(p.Operations)
+	}
+	if elapsed > 0 {
+		p.TxnPerSec = float64(p.Commits) / elapsed.Seconds()
+	}
+	return p, nil
+}
+
+// PipelineSweep measures the before/after pair — sequential sweep over
+// the legacy locked registry versus the sharded pipeline over the CoW
+// registry — under each release policy, holding the workload fixed.
+func PipelineSweep(s Scheduler, cfg PipelineConfig, policies []txn.ReleasePolicy) ([]PipelinePoint, error) {
+	arms := []struct {
+		pipe   txn.CommitPipeline
+		legacy bool
+	}{
+		{txn.PipelineSequential, true},
+		{txn.PipelineSharded, false},
+	}
+	out := make([]PipelinePoint, 0, len(policies)*len(arms))
+	for _, pol := range policies {
+		for _, arm := range arms {
+			c := cfg
+			c.Policy = pol
+			c.Pipeline = arm.pipe
+			c.LegacyRegistry = arm.legacy
+			p, err := RunPipeline(s, c)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// RenderPipelineTable renders sweep points as a fixed-width table.
+func RenderPipelineTable(title string, points []PipelinePoint) string {
+	b := fmt.Sprintf("%s\n%-12s %-11s %-14s %-22s %8s %7s %10s %11s %11s %10s\n",
+		title, "scheduler", "pipeline", "registry", "policy", "commits", "stalls",
+		"hold(us)", "reg-acq/op", "wal-acq/txn", "txn/s")
+	for _, p := range points {
+		b += fmt.Sprintf("%-12s %-11s %-14s %-22s %8d %7d %10.0f %11.3f %11.2f %10.0f\n",
+			p.Scheduler, p.Pipeline, p.Registry, p.Policy, p.Commits, p.DependencyStalls,
+			p.MeanHoldUS, p.RegistryAcqsPerOp, p.WALAcqsPerCommit, p.TxnPerSec)
+	}
+	return b
+}

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/txn"
+)
+
+// TestPipelineSweepShape pins the machine-independent shape of the
+// pipeline experiment: both arms complete the workload, the CoW arm
+// performs zero registry lock acquisitions (the lock-free read-path
+// criterion), the legacy arm performs one per operation, and batch
+// staging gives the sharded arm no more WAL stripe acquisitions than the
+// sequential arm on the identical workload.
+func TestPipelineSweepShape(t *testing.T) {
+	cfg := DefaultPipelineConfig()
+	cfg.TxnsPerWorker = 20
+	cfg.Workers = 4
+	cfg.BatchInterval = 0
+
+	points, err := PipelineSweep(UIPNRBC, cfg, []txn.ReleasePolicy{txn.ReleaseEarlyTracked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points, want 2 (sequential + sharded)", len(points))
+	}
+	byReg := map[string]PipelinePoint{}
+	for _, p := range points {
+		if p.Commits == 0 {
+			t.Fatalf("%s/%s: no commits", p.Pipeline, p.Registry)
+		}
+		byReg[p.Registry] = p
+	}
+	legacy, cow := byReg["legacy-locked"], byReg["cow"]
+	if cow.RegistryLockAcqs != 0 {
+		t.Errorf("CoW registry performed %d lock acquisitions, want 0", cow.RegistryLockAcqs)
+	}
+	if legacy.RegistryLockAcqs < legacy.Operations {
+		t.Errorf("legacy registry performed %d lock acquisitions over %d operations, want >= one per op",
+			legacy.RegistryLockAcqs, legacy.Operations)
+	}
+	// Same seeded workload structure; the sharded arm's batch staging can
+	// only merge acquisitions, never add them (commit counts may differ
+	// slightly under contention, so compare per-commit rates).
+	if cow.WALAcqsPerCommit > legacy.WALAcqsPerCommit {
+		t.Errorf("sharded pipeline acquires %.2f WAL stripes per commit, sequential %.2f: batching must not add acquisitions",
+			cow.WALAcqsPerCommit, legacy.WALAcqsPerCommit)
+	}
+}
+
+// TestScalingGridSweepShape checks the joint skew × shards grid produces
+// the full cross product with both axes recorded on each point.
+func TestScalingGridSweepShape(t *testing.T) {
+	cfg := DefaultScalingConfig()
+	cfg.TxnsPerWorker = 10
+	cfg.Workers = 2
+	skews, shards := []float64{0, 1.5}, []int{1, 4}
+	points := ScalingGridSweep(UIPNRBC, cfg, skews, shards)
+	if len(points) != len(skews)*len(shards) {
+		t.Fatalf("got %d points, want %d", len(points), len(skews)*len(shards))
+	}
+	i := 0
+	for _, z := range skews {
+		for _, n := range shards {
+			p := points[i]
+			i++
+			if p.ZipfS != z || p.Shards != n {
+				t.Fatalf("point %d: (zipf=%v, shards=%d), want (%v, %d)", i-1, p.ZipfS, p.Shards, z, n)
+			}
+			if p.Commits == 0 {
+				t.Fatalf("point %d: no commits", i-1)
+			}
+		}
+	}
+}
+
+// TestLongReadKnob checks long readers run and commit: with the knob at
+// 100% every transaction is a LongReadOps-operation reader, so the
+// operation count per commit rises accordingly and the workload still
+// terminates (no reader deadlocks against itself).
+func TestLongReadKnob(t *testing.T) {
+	cfg := DefaultScalingConfig()
+	cfg.TxnsPerWorker = 10
+	cfg.Workers = 2
+	cfg.AbortPct = 0
+	cfg.LongReadPct = 100
+	cfg.LongReadOps = 12
+	p, _ := RunScaling(UIPNRBC, cfg)
+	if p.Commits == 0 {
+		t.Fatal("no commits with long readers pinned open")
+	}
+	if perTxn := float64(p.Operations) / float64(p.Commits+p.Aborts); perTxn < float64(cfg.OpsPerTxn) {
+		t.Fatalf("%.1f ops per transaction, want at least the long-read span to dominate (> %d)",
+			perTxn, cfg.OpsPerTxn)
+	}
+}

@@ -51,6 +51,18 @@ type ScalingConfig struct {
 	// after each operation while locks are held, as in BankingConfig, so
 	// contention is observable even at GOMAXPROCS=1. Zero means none.
 	ThinkIters int
+	// LongReadPct, when > 0, turns that percentage of transactions into
+	// long-running readers: instead of the usual OpsPerTxn mixed
+	// operations they perform LongReadOps balance reads, holding their
+	// read locks open across the whole span. Long readers model analytic
+	// scans pinned open against an update stream — the workload where
+	// lock-release policy and commit-pipeline shape show up as reader
+	// stalls. Zero disables the knob (and draws nothing from the RNG, so
+	// existing seeded workloads are unchanged).
+	LongReadPct int
+	// LongReadOps is the operation count of a long reader (default
+	// 8×OpsPerTxn when a long reader is drawn with the field unset).
+	LongReadOps int
 	// InitialBalance seeds every account.
 	InitialBalance int
 	// Shards is passed to txn.Options (0 = engine default).
@@ -123,13 +135,26 @@ func runBankWorkers(e *txn.Engine, cfg ScalingConfig, onCommit func(worker int, 
 				return scalingObjID(rng.Intn(cfg.Objects))
 			}
 			for i := 0; i < cfg.TxnsPerWorker; i++ {
+				// Long readers are drawn only when the knob is set, so the
+				// RNG stream — and with it every existing seeded workload —
+				// is untouched when LongReadPct is zero.
+				longRead := false
+				ops := cfg.OpsPerTxn
+				if cfg.LongReadPct > 0 && rng.Intn(100) < cfg.LongReadPct {
+					longRead = true
+					if ops = cfg.LongReadOps; ops <= 0 {
+						ops = 8 * cfg.OpsPerTxn
+					}
+				}
 				tx := e.Begin()
 				failed := false
-				for op := 0; op < cfg.OpsPerTxn; op++ {
+				for op := 0; op < ops; op++ {
 					obj := pickObj()
 					amount := 1 + rng.Intn(3)
 					var err error
 					switch pick := rng.Intn(100); {
+					case longRead:
+						_, err = tx.Invoke(obj, adt.Balance())
 					case pick < cfg.DepositPct:
 						_, err = tx.Invoke(obj, adt.Deposit(amount))
 					case pick < cfg.DepositPct+cfg.WithdrawPct:
@@ -270,6 +295,25 @@ func ScalingSweep(s Scheduler, cfg ScalingConfig, shardCounts []int) []ScalingPo
 		c.Shards = n
 		p, _ := RunScaling(s, c)
 		out = append(out, p)
+	}
+	return out
+}
+
+// ScalingGridSweep measures the workload over the joint zipf-skew × shard
+// grid: the marginal sweeps each hold the other axis fixed, but sharding
+// only pays while the key distribution spreads load across shards, so the
+// interaction — skew flattening the shard curve — is itself the finding.
+// A skew <= 1 selects the uniform distribution.
+func ScalingGridSweep(s Scheduler, cfg ScalingConfig, skews []float64, shardCounts []int) []ScalingPoint {
+	out := make([]ScalingPoint, 0, len(skews)*len(shardCounts))
+	for _, z := range skews {
+		for _, n := range shardCounts {
+			c := cfg
+			c.ZipfS = z
+			c.Shards = n
+			p, _ := RunScaling(s, c)
+			out = append(out, p)
+		}
 	}
 	return out
 }

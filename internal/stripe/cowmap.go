@@ -1,0 +1,88 @@
+package stripe
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// CowMap is an atomic copy-on-write map: readers load an immutable map
+// snapshot through one atomic pointer and never take a lock, writers copy
+// the whole map under a small mutex and publish the successor with an
+// atomic store. It is the registry shape behind the engine's lock-free
+// object lookup (and, eventually, the waits-for detector): inserts are
+// rare and O(n), reads are the hot path and cost exactly a pointer load
+// plus a native map access.
+//
+// The discipline that makes this safe — and that the atomicfield analyzer
+// checks — is that a map reached through Load is never mutated in place:
+// every published map is frozen forever, so a reader racing a writer sees
+// either the old snapshot or the new one, never a torn map.
+type CowMap[K comparable, V any] struct {
+	// mu serializes writers only; readers never touch it.
+	mu sync.Mutex
+	// p points at the current immutable snapshot (nil before the first
+	// insert — Get treats a nil snapshot as empty).
+	p atomic.Pointer[map[K]V]
+}
+
+// Get returns the value under k. It performs no lock acquisition: one
+// atomic pointer load, then a read of an immutable map.
+func (m *CowMap[K, V]) Get(k K) (V, bool) {
+	mp := m.p.Load()
+	if mp == nil {
+		var zero V
+		return zero, false
+	}
+	v, ok := (*mp)[k]
+	return v, ok
+}
+
+// Insert publishes k→v if k is absent and reports whether it did. The
+// entire map is copied under the writer mutex and the successor published
+// atomically, so concurrent Gets always observe a complete snapshot.
+func (m *CowMap[K, V]) Insert(k K, v V) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	old := m.p.Load()
+	if old != nil {
+		if _, dup := (*old)[k]; dup {
+			return false
+		}
+	}
+	var next map[K]V
+	if old == nil {
+		next = map[K]V{k: v}
+	} else {
+		next = make(map[K]V, len(*old)+1)
+		for ok, ov := range *old {
+			next[ok] = ov
+		}
+		next[k] = v
+	}
+	m.p.Store(&next)
+	return true
+}
+
+// Len returns the size of the current snapshot.
+func (m *CowMap[K, V]) Len() int {
+	mp := m.p.Load()
+	if mp == nil {
+		return 0
+	}
+	return len(*mp)
+}
+
+// Range calls f on every entry of the current snapshot (in map order —
+// callers needing determinism must sort), stopping early if f returns
+// false. Entries inserted after the snapshot was loaded are not visited.
+func (m *CowMap[K, V]) Range(f func(K, V) bool) {
+	mp := m.p.Load()
+	if mp == nil {
+		return
+	}
+	for k, v := range *mp {
+		if !f(k, v) {
+			return
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package stripe
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCowMapBasic(t *testing.T) {
+	var m CowMap[string, int]
+	if _, ok := m.Get("a"); ok {
+		t.Fatal("empty map reported a hit")
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", m.Len())
+	}
+	if !m.Insert("a", 1) {
+		t.Fatal("first insert of a failed")
+	}
+	if m.Insert("a", 2) {
+		t.Fatal("duplicate insert of a succeeded")
+	}
+	if v, ok := m.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d,%v, want 1,true (duplicate insert must not overwrite)", v, ok)
+	}
+	if !m.Insert("b", 2) {
+		t.Fatal("insert of b failed")
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	got := map[string]int{}
+	m.Range(func(k string, v int) bool {
+		got[k] = v
+		return true
+	})
+	if len(got) != 2 || got["a"] != 1 || got["b"] != 2 {
+		t.Fatalf("Range gathered %v", got)
+	}
+	// Early stop.
+	n := 0
+	m.Range(func(string, int) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("Range visited %d entries after stop, want 1", n)
+	}
+}
+
+// TestCowMapSnapshotImmutable checks that a snapshot taken by Range is not
+// perturbed by a concurrent insert: the published maps are frozen.
+func TestCowMapSnapshotImmutable(t *testing.T) {
+	var m CowMap[int, int]
+	for i := 0; i < 8; i++ {
+		m.Insert(i, i)
+	}
+	seen := 0
+	m.Range(func(k, v int) bool {
+		if seen == 0 {
+			m.Insert(100, 100) // lands in a successor map, not this snapshot
+		}
+		if k == 100 {
+			t.Fatal("Range observed an entry inserted mid-iteration")
+		}
+		seen++
+		return true
+	})
+	if seen != 8 {
+		t.Fatalf("Range visited %d entries, want 8", seen)
+	}
+	if v, ok := m.Get(100); !ok || v != 100 {
+		t.Fatal("insert during Range was lost")
+	}
+}
+
+// TestCowMapConcurrent hammers Get against Insert under the race detector:
+// no lookup may tear and no insert may be lost.
+func TestCowMapConcurrent(t *testing.T) {
+	var m CowMap[string, int]
+	const writers, perWriter = 4, 200
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := 0; i < perWriter; i++ {
+					k := fmt.Sprintf("k%d", i)
+					if v, ok := m.Get(k); ok && v < 0 {
+						t.Error("torn read")
+						return
+					}
+				}
+			}
+		}()
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				m.Insert(fmt.Sprintf("w%d-%d", w, i), w*perWriter+i)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	// Writers finish, then stop the readers.
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			k := fmt.Sprintf("w%d-%d", w, i)
+			for {
+				if _, ok := m.Get(k); ok {
+					break
+				}
+				select {
+				case <-done:
+					if _, ok := m.Get(k); !ok {
+						t.Fatalf("insert of %s lost", k)
+					}
+				default:
+				}
+			}
+		}
+	}
+	close(stop)
+	<-done
+	if m.Len() != writers*perWriter {
+		t.Fatalf("Len = %d, want %d", m.Len(), writers*perWriter)
+	}
+}

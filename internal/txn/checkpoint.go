@@ -111,14 +111,18 @@ func (e *Engine) Checkpoint() (*checkpoint.Snapshot, error) {
 	}
 	var caps []capture
 	for _, sh := range e.shards {
-		sh.mu.RLock()
-		mos := make([]*managedObject, 0, len(sh.objects))
-		for _, mo := range sh.objects {
+		// Walk an immutable snapshot of the shard's copy-on-write registry
+		// — no registry lock needed; objects registered mid-checkpoint are
+		// simply absent (safe: all their records stamp past the frontier,
+		// so restart replays them in full). Sorted, since Range follows
+		// map order.
+		mos := make([]*managedObject, 0, sh.objects.Len())
+		sh.objects.Range(func(_ history.ObjectID, mo *managedObject) bool {
 			if mo.kind == UndoLogRecovery {
 				mos = append(mos, mo)
 			}
-		}
-		sh.mu.RUnlock()
+			return true
+		})
 		sort.Slice(mos, func(i, j int) bool { return mos[i].id < mos[j].id })
 		for _, mo := range mos {
 			// Exclusive gate: no commit sweep is between discharging a

@@ -182,6 +182,12 @@ type Metrics struct {
 	// difference is the measured concurrency cost of holding locks to the
 	// ack.
 	CommitHoldNS atomic.Int64
+	// RegistryLockAcqs counts lock acquisitions performed on the object
+	// lookup path. The copy-on-write registry performs none — the counter
+	// stays at zero however many operations run, which is the pipeline
+	// sweep's machine-independent proof that the read path is lock-free.
+	// Only the LegacyLockedRegistry arm increments it (once per lookup).
+	RegistryLockAcqs atomic.Int64
 	// Checkpoints counts completed fuzzy checkpoints (snapshot durably
 	// saved); failed or crash-aborted attempts are not counted.
 	Checkpoints atomic.Int64
@@ -226,6 +232,45 @@ type Options struct {
 	// checkpointer goroutine the engine owns (stopped by Engine.Close).
 	// See CheckpointOptions.
 	Checkpoint *CheckpointOptions
+	// CommitPipeline selects the shape of Txn.Commit's phase-2 sweep. The
+	// zero value is PipelineSharded: participants grouped per registry
+	// shard, per-object commit records staged through the WAL's batch
+	// accessor, locks released shard-by-shard in commit-LSN order.
+	// PipelineSequential keeps the legacy per-object sweep — the "before"
+	// arm of the pipeline experiment.
+	CommitPipeline CommitPipeline
+	// LegacyLockedRegistry routes object lookups through the per-shard
+	// read-write lock the registry used before the copy-on-write map —
+	// the "before" arm of the pipeline experiment's lock-acquisition
+	// comparison (see Metrics.RegistryLockAcqs). Never set it outside a
+	// benchmark.
+	LegacyLockedRegistry bool
+}
+
+// CommitPipeline selects how Txn.Commit sweeps its participants; see
+// Options.CommitPipeline.
+type CommitPipeline int
+
+const (
+	// PipelineSharded (the default) groups commit work per registry
+	// shard: each shard's per-object commit records are staged in one
+	// WAL stripe acquisition (wal.Log.AppendBatchAsync), chains are
+	// discharged per shard under the narrowed checkpoint gate, and locks
+	// release shard-by-shard in commit-LSN order using the stage-ticket
+	// total order.
+	PipelineSharded CommitPipeline = iota
+	// PipelineSequential is the legacy shape: a per-object sweep in
+	// object-ID order staging one record per object under the checkpoint
+	// gate, with unordered lock release.
+	PipelineSequential
+)
+
+// String implements fmt.Stringer.
+func (p CommitPipeline) String() string {
+	if p == PipelineSequential {
+		return "sequential"
+	}
+	return "sharded"
 }
 
 // normalizeShards rounds n up to a power of two within
@@ -284,9 +329,103 @@ type Engine struct {
 // engineShard owns one stripe of the object registry and the event buffer
 // for the objects that hash into it.
 type engineShard struct {
-	mu       sync.RWMutex
-	objects  map[history.ObjectID]*managedObject
+	// objects is the copy-on-write registry stripe: lookups load an
+	// immutable snapshot through one atomic pointer — zero lock
+	// acquisitions on the hit path — and Register publishes a copied
+	// successor under the CowMap's internal writer mutex.
+	objects stripe.CowMap[history.ObjectID, *managedObject]
+	// legacyMu reproduces the pre-CoW read-locked registry when
+	// Options.LegacyLockedRegistry is set: lookup takes the read side per
+	// hit and Register the write side. It exists only as the honest
+	// "before" arm of the pipeline sweep's lock-acquisition comparison;
+	// with the option clear it is never touched by lookup.
+	legacyMu sync.RWMutex
 	recorder *history.Recorder
+
+	// Commit-LSN-ordered release state. A committing transaction enrolls
+	// in every shard it touched before staging its transaction-level
+	// commit record, resolves the enrollment with the record's stage
+	// ticket right after, and at release time waits until no other
+	// committer in the shard is enrolled-unresolved or resolved with a
+	// smaller ticket. Global stamp monotonicity makes the protocol
+	// complete: any transaction whose commit LSN precedes this one's had
+	// already enrolled here by the time this one's ticket existed (enroll
+	// happens-before its own staging, which happens-before every larger
+	// stamp), so waiting on the pending set alone observes every
+	// predecessor. relMu guards pending; relCond is broadcast on every
+	// resolve/withdraw/finish.
+	relMu   sync.Mutex
+	relCond *sync.Cond
+	pending map[history.TxnID]wal.Ticket
+}
+
+// enrollRelease registers txn as a committer of this shard whose commit
+// ticket is not yet known (it has not staged its transaction-level commit
+// record). Unresolved enrollments block every ordered release in the
+// shard: an unresolved committer's eventual ticket may be smaller than
+// any resolved one's only if it enrolled before they staged — exactly the
+// window this blocking covers.
+func (sh *engineShard) enrollRelease(txn history.TxnID) {
+	sh.relMu.Lock()
+	if sh.pending == nil {
+		sh.pending = make(map[history.TxnID]wal.Ticket)
+	}
+	sh.pending[txn] = 0
+	sh.relMu.Unlock()
+}
+
+// resolveRelease publishes txn's commit ticket, unblocking waiters whose
+// turn it establishes.
+func (sh *engineShard) resolveRelease(txn history.TxnID, tk wal.Ticket) {
+	sh.relMu.Lock()
+	sh.pending[txn] = tk
+	sh.relCond.Broadcast()
+	sh.relMu.Unlock()
+}
+
+// withdrawRelease removes an enrollment whose commit failed before a
+// ticket existed (the log closed under the TxnCommitRec staging); the
+// transaction terminates through the unordered release path.
+func (sh *engineShard) withdrawRelease(txn history.TxnID) {
+	sh.relMu.Lock()
+	delete(sh.pending, txn)
+	sh.relCond.Broadcast()
+	sh.relMu.Unlock()
+}
+
+// awaitReleaseTurn blocks until txn is the next committer allowed to
+// release this shard's locks: no other enrollment is unresolved, and no
+// resolved one carries a smaller ticket. Deadlock-free: a committer never
+// waits between enroll and resolve (so unresolved entries always resolve
+// or withdraw), and resolved waiters are totally ordered by ticket — the
+// smallest never blocks.
+func (sh *engineShard) awaitReleaseTurn(txn history.TxnID) {
+	sh.relMu.Lock()
+	for {
+		my := sh.pending[txn]
+		blocked := false
+		for other, tk := range sh.pending {
+			if other != txn && (tk == 0 || tk < my) {
+				blocked = true
+				break
+			}
+		}
+		if !blocked {
+			break
+		}
+		sh.relCond.Wait()
+	}
+	sh.relMu.Unlock()
+}
+
+// finishRelease removes txn's enrollment after its locks at this shard
+// are released, passing the turn to the next committer in commit-LSN
+// order.
+func (sh *engineShard) finishRelease(txn history.TxnID) {
+	sh.relMu.Lock()
+	delete(sh.pending, txn)
+	sh.relCond.Broadcast()
+	sh.relMu.Unlock()
 }
 
 // managedObject couples the lock table, recovery store, and latch of one
@@ -331,10 +470,9 @@ func NewEngine(opts Options) *Engine {
 		mask:     uint32(n - 1),
 	}
 	for i := range e.shards {
-		e.shards[i] = &engineShard{
-			objects:  make(map[history.ObjectID]*managedObject),
-			recorder: history.NewRecorder(&e.evSeq),
-		}
+		sh := &engineShard{recorder: history.NewRecorder(&e.evSeq)}
+		sh.relCond = sync.NewCond(&sh.relMu)
+		e.shards[i] = sh
 	}
 	if e.redoOnly() && log.Discipline() == "" && log.Len() == 0 && log.Base() == 0 {
 		// Brand the fresh log with the discipline marker as its first record
@@ -387,13 +525,22 @@ func (e *Engine) shardOf(id history.ObjectID) *engineShard {
 	return e.shards[stripe.FNV32a(string(id))&e.mask]
 }
 
-// lookup finds a registered object without any engine-wide lock.
+// lookup finds a registered object. The hit path performs zero lock
+// acquisitions: one atomic pointer load into the shard's copy-on-write
+// map, then a read of an immutable snapshot (Metrics.RegistryLockAcqs
+// stays at zero to prove it). With Options.LegacyLockedRegistry set, the
+// pre-CoW read lock is taken instead — the "before" arm the pipeline
+// sweep's acquisition counter compares against.
 func (e *Engine) lookup(id history.ObjectID) (*managedObject, bool) {
 	sh := e.shardOf(id)
-	sh.mu.RLock()
-	mo, ok := sh.objects[id]
-	sh.mu.RUnlock()
-	return mo, ok
+	if e.opts.LegacyLockedRegistry {
+		sh.legacyMu.RLock()
+		e.Metrics.RegistryLockAcqs.Add(1)
+		mo, ok := sh.objects.Get(id)
+		sh.legacyMu.RUnlock()
+		return mo, ok
+	}
+	return sh.objects.Get(id)
 }
 
 // Register creates an object backed by the machine of ty, locked by rel,
@@ -426,11 +573,6 @@ func (e *Engine) Register(id history.ObjectID, ty adt.Type, rel commute.Relation
 		return fmt.Errorf("txn: unknown recovery kind %d", int(kind))
 	}
 	sh := e.shardOf(id)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if _, dup := sh.objects[id]; dup {
-		return fmt.Errorf("txn: object %q already registered", id)
-	}
 	mo := &managedObject{
 		id:    id,
 		table: locking.NewTable(rel),
@@ -440,7 +582,15 @@ func (e *Engine) Register(id history.ObjectID, ty adt.Type, rel commute.Relation
 		rec:   sh.recorder,
 	}
 	mo.cond = sync.NewCond(&mo.mu)
-	sh.objects[id] = mo
+	// Registration is the cold path: the CowMap serializes writers
+	// internally and copies the whole stripe. The legacy write lock is
+	// taken unconditionally so the LegacyLockedRegistry arm's readers are
+	// genuinely excluded, exactly as the pre-CoW registry excluded them.
+	sh.legacyMu.Lock()
+	defer sh.legacyMu.Unlock()
+	if !sh.objects.Insert(id, mo) {
+		return fmt.Errorf("txn: object %q already registered", id)
+	}
 	return nil
 }
 
@@ -734,9 +884,22 @@ func (t *Txn) Commit() error {
 	}
 	e := t.eng
 	pol := e.opts.ReleasePolicy
+	sharded := e.opts.CommitPipeline == PipelineSharded
 	start := time.Now()
 	hold := func() { e.Metrics.CommitHoldNS.Add(time.Since(start).Nanoseconds()) }
-	objs := t.sortedTouched()
+	// The sweep (and terminate's already-committed bookkeeping) follows
+	// shard-grouped order under the sharded pipeline, plain object-ID
+	// order under the sequential one; objs is always the flat sweep order.
+	var groups []commitGroup
+	var objs []history.ObjectID
+	if sharded {
+		groups = t.shardGroups()
+		for _, g := range groups {
+			objs = append(objs, g.objs...)
+		}
+	} else {
+		objs = t.sortedTouched()
+	}
 	// Phase 1: prepare — verify every participant is still registered. A
 	// failure here terminates cleanly: nothing has committed yet, so every
 	// participant is aborted and the transaction leaves no effects behind.
@@ -763,19 +926,52 @@ func (t *Txn) Commit() error {
 					t.id, ErrDurability, ErrAborted, err))
 		}
 	}
+	// Sharded pipeline, staging phase: every shard's per-object commit
+	// records are staged up front — one WAL stripe acquisition per shard
+	// through the batch accessor — outside the checkpoint gate. Staging
+	// discharges nothing: a fuzzy capture interleaving here still sees
+	// every undo chain intact (the transaction is captured as in-flight),
+	// and restart decides winners by the transaction-level record alone
+	// (per-object CommitRecs are redo hints), so hoisting the staging out
+	// narrows the gate hold to the discharge→decision window below. A
+	// staging failure terminates with nothing committed: every chain is
+	// intact for a clean abort.
+	if sharded && t.wroteWAL {
+		for _, g := range groups {
+			var recs []wal.Record
+			for _, obj := range g.objs {
+				mo, ok := e.lookup(obj)
+				if !ok {
+					hold()
+					return t.terminate(objs, 0,
+						fmt.Errorf("txn %s: commit: object %q vanished", t.id, obj))
+				}
+				if bc, ok := mo.store.(recovery.BatchCommitter); ok {
+					recs = append(recs, bc.CommitRecords(t.id)...)
+				}
+			}
+			if _, err := e.log.AppendBatchAsync(recs); err != nil {
+				hold()
+				return t.terminate(objs, 0,
+					fmt.Errorf("txn %s: staging commit records: %w", t.id, err))
+			}
+		}
+	}
 	// Phase 2a: commit at each object while holding its locks. The
-	// per-object CommitRec staged by an undo-log store here is a redo hint;
-	// the commit decision itself is the transaction-level record below. A
-	// mid-sweep failure terminates: already-committed participants keep
-	// their terminal Commit event, the rest are aborted, and no
-	// transaction-level commit record is staged — restart sees a loser.
+	// per-object CommitRec staged by an undo-log store (batched above
+	// under the sharded pipeline, staged inline by store.Commit under the
+	// sequential one) is a redo hint; the commit decision itself is the
+	// transaction-level record below. A mid-sweep failure terminates:
+	// already-committed participants keep their terminal Commit event, the
+	// rest are aborted, and no transaction-level commit record is staged —
+	// restart sees a loser.
 	//
-	// The checkpoint gate is held (shared) across the sweep and the staging
-	// of the transaction-level commit record: a fuzzy checkpoint capture
-	// (which holds it exclusively) can therefore never observe an object
-	// whose chain this transaction's store.Commit already discharged while
-	// the commit decision is still unstaged — the window that would let a
-	// snapshot bake in effects that a crash could make un-undoable.
+	// The checkpoint gate is held (shared) across the discharge sweep and
+	// the staging of the transaction-level commit record: a fuzzy
+	// checkpoint capture (which holds it exclusively) can therefore never
+	// observe an object whose chain this transaction already discharged
+	// while the commit decision is still unstaged — the window that would
+	// let a snapshot bake in effects that a crash could make un-undoable.
 	e.ckptGate.RLock()
 	gated := true
 	ungate := func() {
@@ -795,7 +991,10 @@ func (t *Txn) Commit() error {
 				fmt.Errorf("txn %s: commit: object %q vanished", t.id, obj))
 		}
 		mo.mu.Lock()
-		if err := mo.store.Commit(t.id); err != nil {
+		if bc, isBatch := mo.store.(recovery.BatchCommitter); sharded && isBatch {
+			// Records already staged above; the discharge cannot fail.
+			bc.CommitStaged(t.id)
+		} else if err := mo.store.Commit(t.id); err != nil {
 			mo.mu.Unlock()
 			ungate()
 			hold()
@@ -805,6 +1004,17 @@ func (t *Txn) Commit() error {
 		e.record(mo, history.Event{Kind: history.Commit, Obj: obj, Txn: t.id})
 		mo.mu.Unlock()
 		committed++
+	}
+	// Enroll in every touched shard's ordered-release protocol before the
+	// commit ticket exists: a later committer whose release must wait on
+	// this transaction is guaranteed to observe the enrollment, because
+	// its own (larger) ticket cannot be assigned before this enrollment —
+	// enroll happens-before our staging in the same total stamp order.
+	enrolled := sharded && t.wroteWAL && pol != releaseEarlyUnsafe
+	if enrolled {
+		for _, g := range groups {
+			g.sh.enrollRelease(t.id)
+		}
 	}
 	// The durable commit point, staged exactly once, after every object's
 	// commit processing and before any lock release.
@@ -827,7 +1037,13 @@ func (t *Txn) Commit() error {
 		if err != nil {
 			// The log closed under us (Commit racing Engine.Close): the
 			// transaction is committed in memory but its commit decision
-			// never reached the log.
+			// never reached the log. No ticket will ever exist, so the
+			// enrollments are withdrawn and the locks released unordered.
+			if enrolled {
+				for _, g := range groups {
+					g.sh.withdrawRelease(t.id)
+				}
+			}
 			ungate()
 			t.releaseLocks(0)
 			hold()
@@ -836,6 +1052,11 @@ func (t *Txn) Commit() error {
 				t.id, ErrDurability, err)
 		}
 		ticket = tk
+	}
+	if enrolled {
+		for _, g := range groups {
+			g.sh.resolveRelease(t.id, ticket)
+		}
 	}
 	ungate()
 	// barrier makes the commit durable: flush the group-commit batch,
@@ -865,7 +1086,11 @@ func (t *Txn) Commit() error {
 		// Hold every lock across the barrier: no other transaction can
 		// observe this commit's state before it is durable.
 		err := barrier()
-		t.releaseLocks(ticket)
+		if enrolled {
+			t.releaseLocksOrdered(groups, ticket)
+		} else {
+			t.releaseLocks(ticket)
+		}
 		hold()
 		if err != nil {
 			e.Metrics.DurabilityFailures.Add(1)
@@ -881,6 +1106,8 @@ func (t *Txn) Commit() error {
 	// policy publishes nothing — dependents commit blind.
 	if pol == releaseEarlyUnsafe {
 		t.releaseLocks(0)
+	} else if enrolled {
+		t.releaseLocksOrdered(groups, ticket)
 	} else {
 		t.releaseLocks(ticket)
 	}
@@ -968,4 +1195,69 @@ func (t *Txn) sortedTouched() []history.ObjectID {
 	objs := append([]history.ObjectID(nil), t.order...)
 	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
 	return objs
+}
+
+// commitGroup is one registry shard's slice of a transaction's touched
+// objects, in ascending object-ID order. Group order is ascending shard
+// index, so every committer walks shards the same way — the property
+// that lets shard-by-shard release pipeline without circular waits.
+type commitGroup struct {
+	sh   *engineShard
+	objs []history.ObjectID
+}
+
+// shardGroups partitions the touched set by registry shard, groups in
+// ascending shard-index order and objects in ascending ID order within
+// each group — the deterministic sweep order of the sharded commit
+// pipeline.
+func (t *Txn) shardGroups() []commitGroup {
+	e := t.eng
+	byShard := make(map[uint32][]history.ObjectID)
+	for _, obj := range t.sortedTouched() {
+		i := stripe.FNV32a(string(obj)) & e.mask
+		byShard[i] = append(byShard[i], obj)
+	}
+	idxs := make([]uint32, 0, len(byShard))
+	for i := range byShard {
+		idxs = append(idxs, i)
+	}
+	sort.Slice(idxs, func(a, b int) bool { return idxs[a] < idxs[b] })
+	groups := make([]commitGroup, 0, len(idxs))
+	for _, i := range idxs {
+		groups = append(groups, commitGroup{sh: e.shards[i], objs: byShard[i]})
+	}
+	return groups
+}
+
+// releaseLocksOrdered releases the transaction's locks shard by shard in
+// commit-LSN order: at each touched shard the committer waits until every
+// shard committer with a smaller commit ticket (and every one whose
+// ticket is still unresolved) has released there first, then releases its
+// own locks and passes the turn. Commit tickets are stage stamps —
+// totally ordered and consistent with LSN order — so within every shard,
+// lock release order equals commit-LSN order, while different shards
+// release in parallel (a committer done with shard i moves on while its
+// successor releases i behind it). The commit ticket is published to each
+// object under its latch exactly as releaseLocks does.
+func (t *Txn) releaseLocksOrdered(groups []commitGroup, commit wal.Ticket) {
+	e := t.eng
+	for _, g := range groups {
+		g.sh.awaitReleaseTurn(t.id)
+		for _, obj := range g.objs {
+			mo, ok := e.lookup(obj)
+			if !ok {
+				continue // vanished object: nothing left to release there
+			}
+			mo.mu.Lock()
+			if commit > mo.commitTicket {
+				mo.commitTicket = commit
+				mo.commitWriter = t.id
+			}
+			mo.table.Release(t.id)
+			mo.cond.Broadcast()
+			mo.mu.Unlock()
+		}
+		g.sh.finishRelease(t.id)
+	}
+	e.detector.ClearWaits(t.id)
 }
