@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt vet cclint cclint-vet
+.PHONY: all build test race lint fmt vet cclint cclint-vet obs-snapshot
 
 all: build test lint
 
@@ -38,3 +38,10 @@ cclint-vet:
 	@mkdir -p bin
 	$(GO) build -o bin/cclint ./cmd/cclint
 	$(GO) vet -vettool=$(CURDIR)/bin/cclint ./...
+
+# E21 introspection artifacts: the Chrome trace-event JSON (loadable in
+# chrome://tracing or Perfetto) and the unified engine snapshot.
+obs-snapshot:
+	@mkdir -p bin
+	$(GO) run ./cmd/ccbench -experiment obs -quick \
+		-trace bin/obs-trace.json -obs-snapshot bin/obs-snapshot.json

@@ -16,16 +16,21 @@
 // REDO-only dependency logging, per WAL backend), and the commit-pipeline
 // sweep (the sharded, commit-LSN-ordered commit pipeline over the
 // copy-on-write registry versus the legacy sequential sweep over the
-// locked registry, measured by lock-acquisition counts).
+// locked registry, measured by lock-acquisition counts), and the
+// observability sweep (the cost of the obs layer itself: disabled-path
+// allocations, byte-identical sampled replay, and trace/histogram
+// coverage under the full concurrent workload).
 //
 // Usage:
 //
 //	ccbench                            # full suite at default sizes
 //	ccbench -quick                     # reduced sizes
-//	ccbench -experiment mass           # one of: mass, banking, pool, recovery, scaling, flush, release, checkpoint, restart, redo, pipeline
+//	ccbench -experiment mass           # one of: mass, banking, pool, recovery, scaling, flush, release, checkpoint, restart, redo, pipeline, obs
 //	ccbench -experiment scaling,flush  # a comma-separated subset
 //	ccbench -shards 8                  # fix the engine shard count (0 = sweep 1..16)
-//	ccbench -json                      # also write BENCH_engine.json (scaling/flush/release/checkpoint/restart/redo/pipeline points)
+//	ccbench -json                      # also write BENCH_engine.json (scaling/flush/release/checkpoint/restart/redo/pipeline/obs points)
+//	ccbench -experiment obs -trace trace.json -obs-snapshot snap.json
+//	                                   # export the Chrome trace and unified snapshot
 package main
 
 import (
@@ -40,6 +45,7 @@ import (
 
 	"repro/internal/adt"
 	"repro/internal/commute"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/txn"
 )
@@ -51,6 +57,8 @@ const benchJSONPath = "BENCH_engine.json"
 var (
 	flagShards = flag.Int("shards", 0, "engine shard count for the scaling experiment (0 = sweep 1,2,4,8,16)")
 	flagJSON   = flag.Bool("json", false, "write scaling, flush, and release results to "+benchJSONPath)
+	flagTrace  = flag.String("trace", "", "write the obs experiment's Chrome trace-event JSON to this path (loadable in chrome://tracing or Perfetto)")
+	flagObs    = flag.String("obs-snapshot", "", "write the obs experiment's unified introspection snapshot (JSON) to this path")
 )
 
 // experimentOrder is the single source of truth for experiment names and
@@ -71,6 +79,7 @@ var experimentOrder = []struct {
 	{"restart", restartExperiment},
 	{"redo", redoExperiment},
 	{"pipeline", pipelineExperiment},
+	{"obs", obsExperiment},
 }
 
 func experimentNames() string {
@@ -92,6 +101,7 @@ type benchDoc struct {
 	Restart    []sim.RestartPoint    `json:"restart,omitempty"`
 	Redo       []sim.RedoPoint       `json:"redo,omitempty"`
 	Pipeline   []sim.PipelinePoint   `json:"pipeline,omitempty"`
+	Obs        []sim.ObsPoint        `json:"obs,omitempty"`
 }
 
 var benchOut benchDoc
@@ -217,6 +227,94 @@ func pipelineExperiment(quick bool) {
 	fmt.Println("columns are the machine-independent signal.")
 	fmt.Println()
 	benchOut.Pipeline = pts
+}
+
+// obsExperiment measures the observability layer's own cost (E21) with
+// three arms: "disabled" proves every hook is free when no observer is
+// attached (0 allocs/op across the nil-receiver hook set), "sampled"
+// re-runs the identical seeded single-worker workload with tracing on and
+// proves the final engine state is byte-identical, and
+// "concurrent-sampled" runs the full contended workload against an
+// asynchronous flusher to populate every phase histogram and trace-event
+// kind. Latency columns are wall-clock-ordinal on 1 vCPU; the
+// machine-independent signals are the allocation count, the
+// identical-state bit, and the trace-kind coverage. With -trace the
+// concurrent arm's Chrome trace-event JSON is written out, and with
+// -obs-snapshot a durable checkpoint-and-restart run exports the unified
+// introspection snapshot.
+func obsExperiment(quick bool) {
+	cfg := sim.DefaultObsConfig()
+	if quick {
+		cfg.TxnsPerWorker = 40
+		cfg.Objects = 16
+	}
+	pts, o, err := sim.RunObs(sim.UIPNRBC, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ccbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(sim.RenderObsTable(
+		fmt.Sprintf("E21 — observability sweep, %d accounts, %d workers, zipf %.1f, sample %.2f, GOMAXPROCS=%d (disabled vs sampled vs concurrent)",
+			cfg.Objects, cfg.Workers, cfg.ZipfS, cfg.SampleRate, runtime.GOMAXPROCS(0)), pts))
+	fmt.Println("shape: the disabled arm's allocs/op column is exactly zero (nil-receiver")
+	fmt.Println("hooks compile to a branch, never a box), the sampled arm's identical bit")
+	fmt.Println("proves instrumentation cannot perturb workload results, and the concurrent")
+	fmt.Println("arm covers every trace-event kind; latency percentiles are wall-clock-")
+	fmt.Println("ordinal on 1 vCPU — allocation and coverage counts are the machine-")
+	fmt.Println("independent signal.")
+	fmt.Println()
+	benchOut.Obs = pts
+	if *flagTrace != "" {
+		if err := writeObsTrace(*flagTrace, o); err != nil {
+			fmt.Fprintf(os.Stderr, "ccbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote Chrome trace-event JSON to %s\n\n", *flagTrace)
+	}
+	if *flagObs != "" {
+		if err := writeObsSnapshot(*flagObs, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "ccbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote unified introspection snapshot to %s\n\n", *flagObs)
+	}
+}
+
+// writeObsTrace exports the concurrent arm's trace buffer as Chrome
+// trace-event JSON, loadable in chrome://tracing or Perfetto.
+func writeObsTrace(path string, o *obs.Observer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := o.Trace().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeObsSnapshot runs the durable checkpoint-and-restart arm in a
+// throwaway directory and exports the unified snapshot document.
+func writeObsSnapshot(path string, cfg sim.ObsConfig) error {
+	dir, err := os.MkdirTemp("", "ccbench-obs-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	snap, err := sim.ObsUnifiedSnapshot(sim.UIPNRBC, cfg, dir)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // redoExperiment measures the logging-discipline trade-off (E19): the

@@ -55,7 +55,7 @@ var analyzers = []*analysis.Analyzer{
 var scopes = analysis.Scope{
 	"locksafe":          {"internal/txn", "internal/stripe", "internal/checkpoint"},
 	"stagebeforemutate": {"internal/recovery", "internal/txn"},
-	"detreplay":         {"internal/recovery", "internal/history"},
+	"detreplay":         {"internal/recovery", "internal/history", "internal/obs"},
 }
 
 func main() {

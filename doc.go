@@ -111,6 +111,26 @@
 // handoff loudly. E19 measures the trade: fewer log bytes per commit and
 // winners-only replay, paid for with dependency sets on commit records.
 //
+// # Observability
+//
+// The engine self-reports through internal/obs, a leaf package wired in
+// by txn.Options.Obs: lock-free sharded power-of-two-bucket histograms
+// over every commit phase (lock wait, WAL staging, barrier wait with the
+// dependency-stall subset, commit-protocol lock hold, end-to-end latency,
+// flusher batch size/dwell/sync, checkpoint capture/save), sampled
+// transaction-lifecycle tracing (deterministic splitmix64 sampling by
+// transaction sequence number, exported as Chrome trace-event JSON
+// loadable in chrome://tracing or Perfetto), and a unified introspection
+// snapshot (txn.Engine.ObsSnapshot) folding engine counters, the WAL's
+// single-sequence-point accounting (wal.Log.Stats), checkpoint progress,
+// phase histograms, trace statistics, and — when a restart ran — the
+// recovery.RestartStats into one JSON document. Every hook is
+// nil-receiver-safe and the disabled path allocates nothing (E21 proves 0
+// allocs/op by testing.AllocsPerRun and byte-identical workload results
+// with sampling on), and obs itself never reads the wall clock or
+// math/rand — callers pass duration deltas, so the package sits inside
+// detreplay's determinism scope.
+//
 // # Static invariants
 //
 // The disciplines above are conventions the compiler cannot check: a
@@ -138,9 +158,12 @@
 // the checkpointed-restart sweep (restart cost × log length), the
 // segmented-restart sweep (backend × segment size × restart
 // parallelism), the logging-discipline sweep (undo vs REDO-only ×
-// backend), and the commit-pipeline sweep (sharded/CoW vs
-// sequential/locked, by lock-acquisition counts); `ccbench -experiment
-// scaling,flush,release,checkpoint,restart,redo,pipeline -json` writes
-// them to BENCH_engine.json. See EXPERIMENTS.md for the methodology and
-// the 1-vCPU measurement caveats.
+// backend), the commit-pipeline sweep (sharded/CoW vs
+// sequential/locked, by lock-acquisition counts), and the observability
+// sweep (disabled-path allocations, byte-identical sampled replay, trace
+// and histogram coverage); `ccbench -experiment
+// scaling,flush,release,checkpoint,restart,redo,pipeline,obs -json`
+// writes them to BENCH_engine.json, and `-trace`/`-obs-snapshot` export
+// the Chrome trace and the unified snapshot. See EXPERIMENTS.md for the
+// methodology and the 1-vCPU measurement caveats.
 package repro

@@ -12,9 +12,11 @@
 // planned lock-free hot-path refactor will introduce.
 //
 // Within each package: pass 1 collects every struct field whose address
-// is taken as the first argument of a sync/atomic function; pass 2 flags
-// every other selector access to those fields — plain reads, plain
-// writes, and address-taking outside sync/atomic calls.
+// is taken as the first argument of a sync/atomic function — either
+// directly (&x.f) or through an element (&x.f[i], the sharded-histogram
+// shape, which publishes the whole array field); pass 2 flags every
+// other selector access to those fields — plain reads, plain writes, and
+// address-taking outside sync/atomic calls.
 //
 // The analyzer also understands the typed atomic.Pointer[T] and the
 // copy-on-write discipline built on it (stripe.CowMap, the engine's
@@ -65,7 +67,13 @@ func run(pass *analysis.Pass) error {
 				if !ok || un.Op.String() != "&" {
 					continue
 				}
-				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				inner := ast.Unparen(un.X)
+				// &x.f[i] publishes element-by-element: the array field
+				// itself joins the protocol, so unwrap the index.
+				if ix, ok := inner.(*ast.IndexExpr); ok {
+					inner = ast.Unparen(ix.X)
+				}
+				sel, ok := inner.(*ast.SelectorExpr)
 				if !ok {
 					continue
 				}

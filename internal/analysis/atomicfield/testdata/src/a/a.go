@@ -57,6 +57,28 @@ func (r *registry) badBump(k string) {
 	m[k]++ // want `in-place map write to a value loaded from atomic.Pointer`
 }
 
+// hist publishes its bucket array element-by-element through
+// sync/atomic: taking &h.buckets[i] inside an atomic call enrolls the
+// whole array field in the protocol, so any plain element access
+// elsewhere races with record.
+type hist struct {
+	buckets [8]int64
+}
+
+func (h *hist) record(i int) {
+	atomic.AddInt64(&h.buckets[i&7], 1)
+}
+
+// plainBucketRead skips the acquire on an element of the published array.
+func (h *hist) plainBucketRead(i int) int64 {
+	return h.buckets[i&7] // want `plain access to field buckets`
+}
+
+// plainBucketReset races with record: the store skips the release.
+func (h *hist) plainBucketReset(i int) {
+	h.buckets[i&7] = 0 // want `plain access to field buckets`
+}
+
 type node struct{ next int }
 
 type box struct {

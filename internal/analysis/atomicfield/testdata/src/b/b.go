@@ -36,6 +36,25 @@ type gauge struct {
 func (g *gauge) set(x int64) { g.v.Store(x) }
 func (g *gauge) get() int64  { return g.v.Load() }
 
+// shard is the histogram shape the engine's obs layer uses: a fixed
+// array of typed atomic.Int64 buckets, immune by construction.
+type shard struct {
+	buckets [8]atomic.Int64
+}
+
+func (s *shard) record(i int)     { s.buckets[i&7].Add(1) }
+func (s *shard) load(i int) int64 { return s.buckets[i&7].Load() }
+
+// funcShard is the function-style variant done right: every element
+// access goes through sync/atomic, so the enrolled array field is never
+// touched plainly.
+type funcShard struct {
+	buckets [8]int64
+}
+
+func (s *funcShard) record(i int)     { atomic.AddInt64(&s.buckets[i&7], 1) }
+func (s *funcShard) read(i int) int64 { return atomic.LoadInt64(&s.buckets[i&7]) }
+
 // registry is the correct copy-on-write shape: readers dereference the
 // loaded snapshot without mutating it, and the writer mutates only its
 // private copy before publishing it with Store.

@@ -36,38 +36,38 @@ type WorkerStats struct {
 type RestartStats struct {
 	// LogRecords is the number of records in the scanned (retained) log —
 	// what pass 1's winner scan walks.
-	LogRecords int
+	LogRecords int `json:"log_records"`
 	// Replayed counts the per-object records pass 2 processed (updates
 	// redone, compensations re-applied, commit/abort records consumed).
-	Replayed int
+	Replayed int `json:"replayed"`
 	// Skipped counts per-object records pass 2 skipped because the
 	// checkpoint's capture already reflects them (LSN at or below the
 	// object's marker).
-	Skipped int
+	Skipped int `json:"skipped"`
 	// SeededObjects and SeededTxns count checkpoint seeding: objects whose
 	// state came from the snapshot, and in-flight transactions whose undo
 	// tables were reconstructed from it.
-	SeededObjects int
-	SeededTxns    int
+	SeededObjects int `json:"seeded_objects"`
+	SeededTxns    int `json:"seeded_txns"`
 	// Undone counts loser updates rolled back by the undo phase.
-	Undone int
+	Undone int `json:"undone"`
 
 	// Segments is the number of partitions pass 1's winner scan fanned out
 	// over: the durable segment count for a segmented backend, otherwise
 	// the even-chunk count (1 when the scan ran sequentially).
-	Segments int
+	Segments int `json:"segments"`
 	// Parallelism is the pass-2 worker-pool size actually used.
-	Parallelism int
+	Parallelism int `json:"parallelism"`
 	// PerWorker is each pass-2 worker's share of the object set and the
 	// replay counters, in worker order.
-	PerWorker []WorkerStats
+	PerWorker []WorkerStats `json:"per_worker,omitempty"`
 	// Pass1NS, Pass2NS, and WallNS are wall-clock nanoseconds for the
 	// winner scan, the redo/undo phase, and the whole restart. On a loaded
 	// or single-vCPU machine these are ordinal signals only; the record
 	// counts above are the machine-independent measurement.
-	Pass1NS int64
-	Pass2NS int64
-	WallNS  int64
+	Pass1NS int64 `json:"pass1_ns"`
+	Pass2NS int64 `json:"pass2_ns"`
+	WallNS  int64 `json:"wall_ns"`
 }
 
 // RestartConfig parameterizes RestartAllWithConfig.

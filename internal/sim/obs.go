@@ -1,0 +1,338 @@
+package sim
+
+// The observability experiment (E21): prove the layer's two sides of the
+// bargain. Disabled, the hooks cost nothing — zero allocations per
+// operation (a counter proof via testing.AllocsPerRun, not a timing) and
+// a workload whose results are byte-identical with and without an
+// attached observer. Enabled, one run yields the phase latency
+// histograms, a loadable Chrome trace of sampled transaction lifecycles,
+// and the unified introspection snapshot — without perturbing the
+// workload's deterministic outcome.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/adt"
+	"repro/internal/checkpoint"
+	"repro/internal/history"
+	"repro/internal/obs"
+	"repro/internal/recovery"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// ObsConfig parameterizes the observability experiment.
+type ObsConfig struct {
+	ScalingConfig
+	// SampleRate is the tracer's transaction sampling rate for the
+	// enabled arms.
+	SampleRate float64
+	// BatchInterval and SyncLatency shape the concurrent arm's
+	// asynchronous flusher (dwell and simulated fsync), so the flush and
+	// barrier histograms have real waits to measure.
+	BatchInterval time.Duration
+	SyncLatency   time.Duration
+}
+
+// DefaultObsConfig is a skewed 8-worker workload with a deterministic
+// 1-worker arm pair for the identical-results proof.
+func DefaultObsConfig() ObsConfig {
+	cfg := DefaultScalingConfig()
+	cfg.Workers = 8
+	cfg.TxnsPerWorker = 150
+	cfg.ZipfS = 1.2
+	return ObsConfig{
+		ScalingConfig: cfg,
+		SampleRate:    0.25,
+		BatchInterval: 200 * time.Microsecond,
+		SyncLatency:   20 * time.Microsecond,
+	}
+}
+
+// ObsPoint is one measured arm of the observability experiment.
+type ObsPoint struct {
+	Scheduler  string  `json:"scheduler"`
+	Arm        string  `json:"arm"`
+	Workers    int     `json:"workers"`
+	SampleRate float64 `json:"sample_rate"`
+	Commits    int64   `json:"commits"`
+	Aborts     int64   `json:"aborts"`
+	Operations int64   `json:"operations"`
+	// HookAllocsPerOp is testing.AllocsPerRun over the full disabled-path
+	// hook set (every Observer hook on a nil observer) — the
+	// machine-independent zero-cost proof. Reported on the disabled arm.
+	HookAllocsPerOp float64 `json:"hook_allocs_per_op"`
+	// IdenticalState reports that the arm's final balances and lifecycle
+	// counters are byte-identical to the disabled arm's (same seed, one
+	// worker). Reported on the sampled arm.
+	IdenticalState bool `json:"identical_state,omitempty"`
+	// End-to-end transaction latency quantiles from the TxnE2E histogram
+	// (enabled arms). On a 1-vCPU box these are ordinal signals only.
+	E2EP50US float64 `json:"e2e_p50_us,omitempty"`
+	E2EP99US float64 `json:"e2e_p99_us,omitempty"`
+	// Trace accounting for the enabled arms.
+	TraceSampled int64   `json:"trace_sampled,omitempty"`
+	TraceEvents  int     `json:"trace_events,omitempty"`
+	TraceKinds   int     `json:"trace_kinds,omitempty"`
+	TraceDropped int64   `json:"trace_dropped,omitempty"`
+	ElapsedNS    int64   `json:"elapsed_ns"`
+	TxnPerSec    float64 `json:"txn_per_sec"`
+}
+
+// obsSink keeps the AllocsPerRun loop's calls from being optimized away.
+var obsSink *obs.TxnTrace
+
+// nilHookAllocs measures allocations per run of the complete disabled
+// hook set — the exact calls the engine's hot path makes when
+// Options.Obs is nil.
+func nilHookAllocs() float64 {
+	var o *obs.Observer
+	return testing.AllocsPerRun(1000, func() {
+		o.RecordLockWait(1)
+		o.RecordWALStage(1)
+		o.RecordBarrierWait(1, true)
+		o.RecordCommitHold(1)
+		o.RecordTxnEnd(1)
+		o.RecordFlushBatch(1)
+		o.RecordFlushDwell(1)
+		o.RecordFlushSync(1)
+		o.RecordCheckpoint(1, 1)
+		obsSink = o.SampleTxn(1)
+	})
+}
+
+// obsFingerprint serializes the engine's observable outcome: every
+// lifecycle counter, then every account balance read through a read-only
+// probe transaction (aborted, so the probe leaves no trace in the
+// balances; the counters are captured first so the probe does not
+// perturb them either).
+func obsFingerprint(e *txn.Engine, objects int) (string, error) {
+	var b strings.Builder
+	m := &e.Metrics
+	fmt.Fprintf(&b, "begins=%d commits=%d aborts=%d deadlocks=%d ops=%d notenabled=%d blocked=%d;",
+		m.Begins.Load(), m.Commits.Load(), m.Aborts.Load(), m.Deadlocks.Load(),
+		m.Operations.Load(), m.NotEnabled.Load(), m.Blocked.Load())
+	tx := e.Begin()
+	for i := 0; i < objects; i++ {
+		res, err := tx.Invoke(scalingObjID(i), adt.Balance())
+		if err != nil {
+			return "", fmt.Errorf("sim: obs fingerprint at %s: %w", scalingObjID(i), err)
+		}
+		fmt.Fprintf(&b, "%s=%s;", scalingObjID(i), res)
+	}
+	if err := tx.Abort(); err != nil {
+		return "", fmt.Errorf("sim: obs fingerprint abort: %w", err)
+	}
+	return b.String(), nil
+}
+
+// runObsArm builds an engine (in-memory WAL, or an asynchronous flusher
+// over a latency backend when async), runs the workload, and returns the
+// engine's fingerprint plus a partially filled point. The caller closes
+// nothing: the engine is closed here.
+func runObsArm(s Scheduler, cfg ScalingConfig, o *obs.Observer, async bool,
+	batchInterval, syncLatency time.Duration) (ObsPoint, string, error) {
+	opts := txn.Options{Shards: cfg.Shards, Obs: o}
+	if async {
+		backend := wal.NewLatencyBackend(syncLatency, nil)
+		log, err := wal.Open(wal.Config{
+			Async:         true,
+			BatchInterval: batchInterval,
+			Backend:       backend,
+		})
+		if err != nil {
+			return ObsPoint{}, "", err
+		}
+		opts.WAL = log
+	}
+	ba := adt.BankAccount{
+		InitialBalance: cfg.InitialBalance,
+		MaxBalance:     12,
+		Amounts:        []int{1, 2, 3},
+	}
+	rel := bankRelation(s, adt.DefaultBankAccount())
+	e := txn.NewEngine(opts)
+	for i := 0; i < cfg.Objects; i++ {
+		e.MustRegister(scalingObjID(i), ba, rel, s.Kind())
+	}
+	start := time.Now()
+	runBankWorkers(e, cfg, nil)
+	elapsed := time.Since(start)
+	fp, err := obsFingerprint(e, cfg.Objects)
+	if err != nil {
+		_ = e.Close()
+		return ObsPoint{}, "", err
+	}
+	snap := e.ObsSnapshot()
+	if err := e.Close(); err != nil {
+		return ObsPoint{}, "", err
+	}
+	p := ObsPoint{
+		Scheduler:  s.String(),
+		Workers:    cfg.Workers,
+		Commits:    snap.Engine.Commits,
+		Aborts:     snap.Engine.Aborts,
+		Operations: snap.Engine.Operations,
+		ElapsedNS:  elapsed.Nanoseconds(),
+	}
+	if elapsed > 0 {
+		p.TxnPerSec = float64(p.Commits) / elapsed.Seconds()
+	}
+	if ph := snap.Phases; ph != nil {
+		p.E2EP50US = float64(ph.TxnE2E.Quantile(0.5)) / 1e3
+		p.E2EP99US = float64(ph.TxnE2E.Quantile(0.99)) / 1e3
+	}
+	if ts := snap.Trace; ts != nil {
+		p.SampleRate = 0 // set by the caller, which knows the configured rate
+		p.TraceSampled = ts.Sampled
+		p.TraceEvents = ts.Events
+		p.TraceKinds = ts.Kinds
+		p.TraceDropped = ts.Dropped
+	}
+	return p, fp, nil
+}
+
+// RunObs measures the three arms of the observability experiment:
+//
+//	disabled           1 worker, no observer: the baseline fingerprint
+//	                   and the zero-allocation disabled-path proof.
+//	sampled            1 worker, same seed, observer attached with
+//	                   sampled tracing: results must be byte-identical.
+//	concurrent-sampled the full contended workload over an asynchronous
+//	                   flusher: histograms with real waits and a trace
+//	                   with the full event-kind set.
+//
+// The returned Observer is the concurrent arm's — the caller exports its
+// trace and snapshot.
+func RunObs(s Scheduler, cfg ObsConfig) ([]ObsPoint, *obs.Observer, error) {
+	serial := cfg.ScalingConfig
+	serial.Workers = 1
+
+	disabled, baseFP, err := runObsArm(s, serial, nil, false, 0, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	disabled.Arm = "disabled"
+	disabled.HookAllocsPerOp = nilHookAllocs()
+
+	sampledObs := obs.New(obs.Options{
+		Epoch: time.Now(), SampleRate: cfg.SampleRate, TraceSeed: 1,
+	})
+	sampled, sampledFP, err := runObsArm(s, serial, sampledObs, false, 0, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	sampled.Arm = "sampled"
+	sampled.SampleRate = cfg.SampleRate
+	sampled.IdenticalState = sampledFP == baseFP
+
+	concObs := obs.New(obs.Options{
+		Epoch: time.Now(), SampleRate: cfg.SampleRate, TraceSeed: 1,
+	})
+	conc, _, err := runObsArm(s, cfg.ScalingConfig, concObs, true,
+		cfg.BatchInterval, cfg.SyncLatency)
+	if err != nil {
+		return nil, nil, err
+	}
+	conc.Arm = "concurrent-sampled"
+	conc.SampleRate = cfg.SampleRate
+
+	return []ObsPoint{disabled, sampled, conc}, concObs, nil
+}
+
+// ObsUnifiedSnapshot exercises the full introspection surface once:
+// a durable checkpointed run with an attached observer, a crash restart
+// of its artifacts, and the engine's unified snapshot with the restart's
+// stats folded in — the one-document view of engine, WAL, checkpoint,
+// phases, trace, and recovery that the obs experiment exports.
+func ObsUnifiedSnapshot(s Scheduler, cfg ObsConfig, dir string) (obs.Snapshot, error) {
+	o := obs.New(obs.Options{
+		Epoch: time.Now(), SampleRate: cfg.SampleRate, TraceSeed: 1,
+	})
+	d := txn.DurabilityOptions{Dir: dir, BatchInterval: cfg.BatchInterval}
+	e, err := txn.NewDurableEngine(txn.Options{Shards: cfg.Shards, Obs: o}, d)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	ba := adt.BankAccount{
+		InitialBalance: cfg.InitialBalance,
+		MaxBalance:     12,
+		Amounts:        []int{1, 2, 3},
+	}
+	rel := bankRelation(s, adt.DefaultBankAccount())
+	for i := 0; i < cfg.Objects; i++ {
+		e.MustRegister(scalingObjID(i), ba, rel, txn.UndoLogRecovery)
+	}
+	serial := cfg.ScalingConfig
+	serial.Workers = 2
+	runBankWorkers(e, serial, nil)
+	if _, err := e.Checkpoint(); err != nil {
+		_ = e.Close()
+		return obs.Snapshot{}, err
+	}
+	snap := e.ObsSnapshot()
+	if err := e.Close(); err != nil {
+		return obs.Snapshot{}, err
+	}
+
+	// Crash-restart the durable artifacts and fold the restart stats in.
+	backend, err := wal.OpenSegmentedBackend(d.WALDir(), d.SegmentConfig())
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	relog, err := wal.Open(wal.Config{Backend: backend})
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	stats, err := func() (recovery.RestartStats, error) {
+		store, err := checkpoint.OpenFileStore(d.CheckpointDir())
+		if err != nil {
+			return recovery.RestartStats{}, err
+		}
+		ckpt, err := store.Latest()
+		if err != nil {
+			return recovery.RestartStats{}, err
+		}
+		objs := make([]history.ObjectID, cfg.Objects)
+		for i := range objs {
+			objs[i] = scalingObjID(i)
+		}
+		_, stats, err := recovery.RestartAllWithCheckpoint(objs,
+			func(history.ObjectID) adt.Machine { return ba.Machine() }, relog, ckpt)
+		return stats, err
+	}()
+	// One close on every path; the restart error, when present, wins.
+	if cerr := relog.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	snap.Restart = stats
+	return snap, nil
+}
+
+// RenderObsTable renders the observability arms as a titled table.
+func RenderObsTable(title string, pts []ObsPoint) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, title)
+	fmt.Fprintf(&b, "%-20s %7s %6s %8s %8s %10s %9s %7s %8s %8s %8s\n",
+		"arm", "workers", "rate", "commits", "allocs", "identical", "e2e-p99us", "traced", "events", "kinds", "txn/s")
+	for _, p := range pts {
+		identical := "-"
+		if p.Arm == "sampled" {
+			identical = fmt.Sprintf("%t", p.IdenticalState)
+		}
+		allocs := "-"
+		if p.Arm == "disabled" {
+			allocs = fmt.Sprintf("%.0f", p.HookAllocsPerOp)
+		}
+		fmt.Fprintf(&b, "%-20s %7d %6.2f %8d %8s %10s %9.0f %7d %8d %8d %8.0f\n",
+			p.Arm, p.Workers, p.SampleRate, p.Commits, allocs, identical,
+			p.E2EP99US, p.TraceSampled, p.TraceEvents, p.TraceKinds, p.TxnPerSec)
+	}
+	return b.String()
+}

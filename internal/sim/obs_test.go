@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func quickObsConfig() ObsConfig {
+	cfg := DefaultObsConfig()
+	cfg.TxnsPerWorker = 40
+	cfg.Objects = 16
+	return cfg
+}
+
+// TestRunObsArms checks the experiment's acceptance criteria directly:
+// the disabled path allocates nothing, the sampled arm reproduces the
+// disabled arm's results byte-for-byte, and the concurrent arm yields a
+// trace with the full event-kind set and populated histograms.
+func TestRunObsArms(t *testing.T) {
+	pts, o, err := RunObs(UIPNRBC, quickObsConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d arms, want 3", len(pts))
+	}
+	disabled, sampled, conc := pts[0], pts[1], pts[2]
+	if disabled.Arm != "disabled" || disabled.HookAllocsPerOp != 0 {
+		t.Errorf("disabled arm: %+v (hook allocs must be 0)", disabled)
+	}
+	if !sampled.IdenticalState {
+		t.Errorf("sampled arm not byte-identical to disabled: %+v vs %+v", sampled, disabled)
+	}
+	if sampled.Commits != disabled.Commits || sampled.Operations != disabled.Operations {
+		t.Errorf("sampled counters diverged: %+v vs %+v", sampled, disabled)
+	}
+	if conc.Arm != "concurrent-sampled" {
+		t.Fatalf("arm order wrong: %+v", conc)
+	}
+	if conc.TraceKinds < 5 {
+		t.Errorf("concurrent arm trace has %d event kinds, want >= 5", conc.TraceKinds)
+	}
+	if conc.TraceSampled == 0 || conc.TraceEvents == 0 {
+		t.Errorf("concurrent arm sampled nothing: %+v", conc)
+	}
+	if conc.E2EP99US <= 0 {
+		t.Errorf("concurrent arm E2E p99 = %v, want > 0", conc.E2EP99US)
+	}
+	// The returned observer is the concurrent arm's: its trace must load
+	// as Chrome trace-event JSON.
+	var buf bytes.Buffer
+	if err := o.Trace().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON does not load: %v", err)
+	}
+	if len(doc.TraceEvents) != conc.TraceEvents {
+		t.Errorf("trace JSON has %d events, point says %d", len(doc.TraceEvents), conc.TraceEvents)
+	}
+	if tbl := RenderObsTable("obs", pts); tbl == "" {
+		t.Error("empty table")
+	}
+}
+
+// TestObsUnifiedSnapshot runs the durable checkpointed arm and checks
+// the one-document introspection view: engine counters, coherent WAL
+// accounting, checkpoint progress, phase histograms, trace stats, and
+// the folded-in restart stats all present and JSON-encodable.
+func TestObsUnifiedSnapshot(t *testing.T) {
+	cfg := quickObsConfig()
+	snap, err := ObsUnifiedSnapshot(UIPNRBC, cfg, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Engine.Commits == 0 {
+		t.Error("snapshot has no commits")
+	}
+	if snap.WAL.Flushes == 0 {
+		t.Error("snapshot has no WAL flushes")
+	}
+	if snap.Checkpoint.Completed != 1 {
+		t.Errorf("Checkpoint.Completed = %d, want 1", snap.Checkpoint.Completed)
+	}
+	if snap.Phases == nil || snap.Phases.TxnE2E.Count == 0 {
+		t.Error("snapshot has no phase histograms")
+	}
+	if snap.Phases != nil && snap.Phases.CkptCapture.Count != 1 {
+		t.Errorf("CkptCapture count = %d, want 1", snap.Phases.CkptCapture.Count)
+	}
+	if snap.Trace == nil || snap.Trace.Events == 0 {
+		t.Error("snapshot has no trace stats")
+	}
+	if snap.Restart == nil {
+		t.Fatal("snapshot has no restart stats")
+	}
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot JSON does not load: %v", err)
+	}
+	var restart struct {
+		LogRecords int `json:"log_records"`
+		Replayed   int `json:"replayed"`
+	}
+	if err := json.Unmarshal(back["restart"], &restart); err != nil {
+		t.Fatalf("restart stats do not round-trip: %v", err)
+	}
+	if restart.LogRecords == 0 {
+		t.Error("restart stats carry no log records")
+	}
+}

@@ -111,7 +111,7 @@ func RunPipeline(s Scheduler, cfg PipelineConfig) (PipelinePoint, error) {
 		latencies[w] = append(latencies[w], d)
 	})
 	elapsed := time.Since(start)
-	stripeAcqs := log.StripeAcquisitions()
+	snap := e.ObsSnapshot()
 	if err := e.Close(); err != nil {
 		return PipelinePoint{}, err
 	}
@@ -132,19 +132,21 @@ func RunPipeline(s Scheduler, cfg PipelineConfig) (PipelinePoint, error) {
 		ZipfS:            cfg.ZipfS,
 		Workers:          cfg.Workers,
 		Shards:           e.Shards(),
-		Commits:          e.Metrics.Commits.Load(),
-		Aborts:           e.Metrics.Aborts.Load(),
-		Blocked:          e.Metrics.Blocked.Load(),
-		DependencyStalls: e.Metrics.DependencyStalls.Load(),
-		Operations:       e.Metrics.Operations.Load(),
-		RegistryLockAcqs: e.Metrics.RegistryLockAcqs.Load(),
-		WALStripeAcqs:    stripeAcqs,
+		Commits:          snap.Engine.Commits,
+		Aborts:           snap.Engine.Aborts,
+		Blocked:          snap.Engine.Blocked,
+		DependencyStalls: snap.Engine.DependencyStalls,
+		Operations:       snap.Engine.Operations,
+		RegistryLockAcqs: snap.Engine.RegistryLockAcqs,
+		WALStripeAcqs:    snap.WAL.StripeAcquisitions,
 		CommitP50US:      float64(percentile(all, 50)) / 1e3,
 		CommitP99US:      float64(percentile(all, 99)) / 1e3,
 		ElapsedNS:        elapsed.Nanoseconds(),
 	}
+	// The per-commit figures come from the snapshot's derived mean where
+	// one exists; only the stripe-per-commit ratio is sweep-local.
+	p.MeanHoldUS = snap.Engine.MeanCommitHoldNS / 1e3
 	if p.Commits > 0 {
-		p.MeanHoldUS = float64(e.Metrics.CommitHoldNS.Load()) / float64(p.Commits) / 1e3
 		p.WALAcqsPerCommit = float64(p.WALStripeAcqs) / float64(p.Commits)
 	}
 	if p.Operations > 0 {

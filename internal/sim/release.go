@@ -83,6 +83,7 @@ func RunRelease(s Scheduler, cfg ReleaseConfig) (ReleasePoint, error) {
 		latencies[w] = append(latencies[w], d)
 	})
 	elapsed := time.Since(start)
+	snap := e.ObsSnapshot()
 	if err := e.Close(); err != nil {
 		return ReleasePoint{}, err
 	}
@@ -98,17 +99,17 @@ func RunRelease(s Scheduler, cfg ReleaseConfig) (ReleasePoint, error) {
 		SyncLatencyUS:    cfg.SyncLatency.Microseconds(),
 		ZipfS:            cfg.ZipfS,
 		Workers:          cfg.Workers,
-		Commits:          e.Metrics.Commits.Load(),
-		Aborts:           e.Metrics.Aborts.Load(),
-		Blocked:          e.Metrics.Blocked.Load(),
-		DependencyStalls: e.Metrics.DependencyStalls.Load(),
+		Commits:          snap.Engine.Commits,
+		Aborts:           snap.Engine.Aborts,
+		Blocked:          snap.Engine.Blocked,
+		DependencyStalls: snap.Engine.DependencyStalls,
 		CommitP50US:      float64(percentile(all, 50)) / 1e3,
 		CommitP99US:      float64(percentile(all, 99)) / 1e3,
 		ElapsedNS:        elapsed.Nanoseconds(),
 	}
-	if p.Commits > 0 {
-		p.MeanHoldUS = float64(e.Metrics.CommitHoldNS.Load()) / float64(p.Commits) / 1e3
-	}
+	// MeanCommitHoldNS is the snapshot's derived per-commit figure — the
+	// sweep no longer recomputes it from the raw counter.
+	p.MeanHoldUS = snap.Engine.MeanCommitHoldNS / 1e3
 	if elapsed > 0 {
 		p.TxnPerSec = float64(p.Commits) / elapsed.Seconds()
 	}

@@ -238,6 +238,7 @@ func RunScaling(s Scheduler, cfg ScalingConfig) (ScalingPoint, *txn.Engine) {
 		mix = fmt.Sprintf("%d/%d/%d", cfg.DepositPct, cfg.WithdrawPct,
 			100-cfg.DepositPct-cfg.WithdrawPct)
 	}
+	snap := e.ObsSnapshot()
 	p := ScalingPoint{
 		Scheduler:  s.String(),
 		Mix:        mix,
@@ -246,13 +247,13 @@ func RunScaling(s Scheduler, cfg ScalingConfig) (ScalingPoint, *txn.Engine) {
 		Objects:    cfg.Objects,
 		Workers:    cfg.Workers,
 		ZipfS:      cfg.ZipfS,
-		Commits:    e.Metrics.Commits.Load(),
-		Aborts:     e.Metrics.Aborts.Load(),
-		Deadlocks:  e.Metrics.Deadlocks.Load(),
-		Operations: e.Metrics.Operations.Load(),
-		Blocked:    e.Metrics.Blocked.Load(),
-		WALBatches: e.WAL().Flushes(),
-		WALRecords: e.WAL().FlushedRecords(),
+		Commits:    snap.Engine.Commits,
+		Aborts:     snap.Engine.Aborts,
+		Deadlocks:  snap.Engine.Deadlocks,
+		Operations: snap.Engine.Operations,
+		Blocked:    snap.Engine.Blocked,
+		WALBatches: snap.WAL.Flushes,
+		WALRecords: snap.WAL.FlushedRecords,
 		ElapsedNS:  elapsed.Nanoseconds(),
 	}
 	if elapsed > 0 {

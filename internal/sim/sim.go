@@ -189,16 +189,17 @@ func RenderTable(title string, rows []Result) string {
 }
 
 func collect(s Scheduler, workload string, e *txn.Engine, elapsed time.Duration) Result {
+	snap := e.ObsSnapshot()
 	return Result{
 		Scheduler:  s.String(),
 		Workload:   workload,
-		Txns:       e.Metrics.Begins.Load(),
-		Commits:    e.Metrics.Commits.Load(),
-		Aborts:     e.Metrics.Aborts.Load(),
-		Deadlocks:  e.Metrics.Deadlocks.Load(),
-		Operations: e.Metrics.Operations.Load(),
-		Blocked:    e.Metrics.Blocked.Load(),
-		NotEnabled: e.Metrics.NotEnabled.Load(),
+		Txns:       snap.Engine.Begins,
+		Commits:    snap.Engine.Commits,
+		Aborts:     snap.Engine.Aborts,
+		Deadlocks:  snap.Engine.Deadlocks,
+		Operations: snap.Engine.Operations,
+		Blocked:    snap.Engine.Blocked,
+		NotEnabled: snap.Engine.NotEnabled,
 		Elapsed:    elapsed,
 	}
 }

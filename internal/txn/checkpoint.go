@@ -45,6 +45,7 @@ package txn
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/checkpoint"
@@ -104,6 +105,14 @@ func (e *Engine) Checkpoint() (*checkpoint.Snapshot, error) {
 		lastTk = tk
 	}
 
+	// The capture walk and the durability-plus-save tail are the two cost
+	// phases a checkpoint has; the observer's histograms separate them so
+	// the sweep can tell latch-hold cost from sync cost.
+	o := e.obsv
+	var capture0 time.Time
+	if o != nil {
+		capture0 = time.Now()
+	}
 	type capture struct {
 		obj    history.ObjectID
 		state  string
@@ -150,6 +159,13 @@ func (e *Engine) Checkpoint() (*checkpoint.Snapshot, error) {
 				return nil, fmt.Errorf("txn: checkpoint %s at %s: %w", id, mo.id, err)
 			}
 		}
+	}
+
+	var captureNS int64
+	var save0 time.Time
+	if o != nil {
+		captureNS = time.Since(capture0).Nanoseconds()
+		save0 = time.Now()
 	}
 
 	// Completion rule: flush and wait until the durable watermark covers
@@ -206,6 +222,14 @@ func (e *Engine) Checkpoint() (*checkpoint.Snapshot, error) {
 		return nil, fmt.Errorf("txn: checkpoint %s: save: %w", id, err)
 	}
 	e.Metrics.Checkpoints.Add(1)
+	if o != nil {
+		o.RecordCheckpoint(captureNS, time.Since(save0).Nanoseconds())
+		if o.Tracing() {
+			o.TraceGlobal("checkpoint", capture0.Sub(o.Epoch).Nanoseconds(),
+				time.Since(o.Epoch).Nanoseconds(),
+				map[string]string{"objects": strconv.Itoa(len(caps))})
+		}
+	}
 	if !e.opts.Checkpoint.DisableTruncation {
 		n, err := e.log.TruncateBefore(frontier)
 		e.Metrics.TruncatedRecords.Add(int64(n))

@@ -44,6 +44,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -52,6 +53,7 @@ import (
 	"repro/internal/commute"
 	"repro/internal/history"
 	"repro/internal/locking"
+	"repro/internal/obs"
 	"repro/internal/recovery"
 	"repro/internal/spec"
 	"repro/internal/stripe"
@@ -245,6 +247,12 @@ type Options struct {
 	// comparison (see Metrics.RegistryLockAcqs). Never set it outside a
 	// benchmark.
 	LegacyLockedRegistry bool
+	// Obs, when non-nil, attaches the observability hub: phase latency
+	// histograms on every commit, sampled lifecycle tracing, and flusher
+	// instrumentation on the engine's WAL. Nil (the default) leaves every
+	// hook a nil-receiver no-op — the hot path pays no allocation and no
+	// atomic for it (see the obs experiment's disabled-path proof).
+	Obs *obs.Observer
 }
 
 // CommitPipeline selects how Txn.Commit sweeps its participants; see
@@ -321,6 +329,10 @@ type Engine struct {
 	// accept objects, and the honest error is the branding failure, not
 	// the downstream discipline mismatch it would otherwise look like.
 	initErr error
+
+	// obsv is Options.Obs: nil when observability is disabled. Immutable
+	// after NewEngine, so reads need no synchronization.
+	obsv *obs.Observer
 
 	// Metrics is exported for the experiment harness.
 	Metrics Metrics
@@ -468,6 +480,10 @@ func NewEngine(opts Options) *Engine {
 		log:      log,
 		shards:   make([]*engineShard, n),
 		mask:     uint32(n - 1),
+		obsv:     opts.Obs,
+	}
+	if opts.Obs != nil {
+		log.SetObserver(opts.Obs)
 	}
 	for i := range e.shards {
 		sh := &engineShard{recorder: history.NewRecorder(&e.evSeq)}
@@ -664,13 +680,33 @@ type Txn struct {
 	// dependency above, which restart audits for closure under the winner
 	// set. Nil under undo logging: the undo arm's records are unchanged.
 	depTxns map[history.TxnID]bool
+	// obs is the engine's observer at Begin (nil when disabled), cleared
+	// by obsEnd so the end-to-end latency records exactly once however
+	// the transaction terminates. begin is its start instant; trace is
+	// non-nil only for sampled transactions; stalled marks a commit that
+	// hit the dependency-stall gate (it labels the barrier-wait record).
+	obs     *obs.Observer
+	begin   time.Time
+	trace   *obs.TxnTrace
+	stalled bool
 }
 
 // Begin starts a transaction.
 func (e *Engine) Begin() *Txn {
-	id := history.TxnID(fmt.Sprintf("T%04d", e.txnSeq.Add(1)))
+	seq := e.txnSeq.Add(1)
+	id := history.TxnID(fmt.Sprintf("T%04d", seq))
 	e.Metrics.Begins.Add(1)
-	return &Txn{id: id, eng: e, touched: make(map[history.ObjectID]bool)}
+	t := &Txn{id: id, eng: e, touched: make(map[history.ObjectID]bool)}
+	if o := e.obsv; o != nil {
+		t.obs = o
+		t.begin = time.Now()
+		if tt := o.SampleTxn(seq); tt != nil {
+			t.trace = tt
+			tt.Instant("begin", t.begin.Sub(o.Epoch).Nanoseconds(),
+				map[string]string{"txn": string(id)})
+		}
+	}
+	return t
 }
 
 // ID returns the transaction identifier.
@@ -693,6 +729,11 @@ func (t *Txn) Invoke(obj history.ObjectID, inv spec.Invocation) (spec.Response, 
 
 	mo.mu.Lock()
 	blocked := false
+	// waitStart/waitHolder capture the first conflict of this invocation:
+	// the lock-wait histogram records the full first-block-to-success
+	// duration, and the trace labels the span with the first holder seen.
+	var waitStart time.Time
+	var waitHolder history.TxnID
 	for {
 		res, err := mo.store.Peek(t.id, inv)
 		if err != nil {
@@ -744,6 +785,15 @@ func (t *Txn) Invoke(obj history.ObjectID, inv spec.Invocation) (spec.Response, 
 			e.Metrics.Operations.Add(1)
 			if blocked {
 				e.Metrics.Blocked.Add(1)
+				if o := t.obs; o != nil {
+					waitNS := time.Since(waitStart).Nanoseconds()
+					o.RecordLockWait(waitNS)
+					if t.trace != nil {
+						end := time.Since(o.Epoch).Nanoseconds()
+						t.trace.Span("block", end-waitNS, end, map[string]string{
+							"obj": string(obj), "holder": string(waitHolder)})
+					}
+				}
 			}
 			return res, nil
 		}
@@ -751,11 +801,19 @@ func (t *Txn) Invoke(obj history.ObjectID, inv spec.Invocation) (spec.Response, 
 		if err := e.detector.AddWaits(t.id, holders); err != nil {
 			mo.mu.Unlock()
 			e.Metrics.Deadlocks.Add(1)
+			if t.trace != nil {
+				t.trace.Instant("deadlock", time.Since(t.obs.Epoch).Nanoseconds(),
+					map[string]string{"obj": string(obj)})
+			}
 			abortErr := t.Abort()
 			if abortErr != nil && !errors.Is(abortErr, ErrNotActive) {
 				return "", fmt.Errorf("txn %s: deadlock victim abort failed: %w", t.id, abortErr)
 			}
 			return "", fmt.Errorf("txn %s: %w: %w", t.id, err, ErrAborted)
+		}
+		if t.obs != nil && !blocked {
+			waitStart = time.Now()
+			waitHolder = holders[0]
 		}
 		blocked = true
 		e.Metrics.BlockEvents.Add(1)
@@ -843,6 +901,7 @@ func (t *Txn) terminate(objs []history.ObjectID, committed int, cause error) err
 			cause = fmt.Errorf("%w (and flushing compensation records: %w)", cause, ferr)
 		}
 	}
+	t.obsEnd("terminated")
 	return cause
 }
 
@@ -885,8 +944,13 @@ func (t *Txn) Commit() error {
 	e := t.eng
 	pol := e.opts.ReleasePolicy
 	sharded := e.opts.CommitPipeline == PipelineSharded
+	o := t.obs
 	start := time.Now()
-	hold := func() { e.Metrics.CommitHoldNS.Add(time.Since(start).Nanoseconds()) }
+	hold := func() {
+		d := time.Since(start).Nanoseconds()
+		e.Metrics.CommitHoldNS.Add(d)
+		o.RecordCommitHold(d)
+	}
 	// The sweep (and terminate's already-committed bookkeeping) follows
 	// shard-grouped order under the sharded pipeline, plain object-ID
 	// order under the sequential one; objs is always the flat sweep order.
@@ -918,6 +982,7 @@ func (t *Txn) Commit() error {
 	// top of an unsynced loser.
 	if pol != releaseEarlyUnsafe && t.dep > 0 && !e.log.IsDurable(t.dep) {
 		e.Metrics.DependencyStalls.Add(1)
+		t.stalled = true
 		if err := e.log.Err(); err != nil {
 			e.Metrics.DurabilityAborts.Add(1)
 			hold()
@@ -936,7 +1001,15 @@ func (t *Txn) Commit() error {
 	// narrows the gate hold to the discharge→decision window below. A
 	// staging failure terminates with nothing committed: every chain is
 	// intact for a clean abort.
+	// stageNS accumulates the WAL staging cost of this commit (the batch
+	// staging below plus the transaction-level record) for the WAL-stage
+	// histogram.
+	var stageNS int64
 	if sharded && t.wroteWAL {
+		var stage0 time.Time
+		if o != nil {
+			stage0 = time.Now()
+		}
 		for _, g := range groups {
 			var recs []wal.Record
 			for _, obj := range g.objs {
@@ -956,6 +1029,9 @@ func (t *Txn) Commit() error {
 					fmt.Errorf("txn %s: staging commit records: %w", t.id, err))
 			}
 		}
+		if o != nil {
+			stageNS += time.Since(stage0).Nanoseconds()
+		}
 	}
 	// Phase 2a: commit at each object while holding its locks. The
 	// per-object CommitRec staged by an undo-log store (batched above
@@ -972,12 +1048,20 @@ func (t *Txn) Commit() error {
 	// observe an object whose chain this transaction already discharged
 	// while the commit decision is still unstaged — the window that would
 	// let a snapshot bake in effects that a crash could make un-undoable.
+	var gate0 time.Time
+	if t.trace != nil {
+		gate0 = time.Now()
+	}
 	e.ckptGate.RLock()
 	gated := true
 	ungate := func() {
 		if gated {
 			gated = false
 			e.ckptGate.RUnlock()
+			if t.trace != nil {
+				t.trace.Span("ckpt-gate", gate0.Sub(o.Epoch).Nanoseconds(),
+					time.Since(o.Epoch).Nanoseconds(), nil)
+			}
 		}
 	}
 	defer ungate()
@@ -1033,7 +1117,14 @@ func (t *Txn) Commit() error {
 			sort.Slice(deps, func(i, j int) bool { return deps[i] < deps[j] })
 			rec.Deps = deps
 		}
+		var stage0 time.Time
+		if o != nil {
+			stage0 = time.Now()
+		}
 		tk, err := e.log.AppendAsync(rec)
+		if o != nil {
+			stageNS += time.Since(stage0).Nanoseconds()
+		}
 		if err != nil {
 			// The log closed under us (Commit racing Engine.Close): the
 			// transaction is committed in memory but its commit decision
@@ -1048,10 +1139,18 @@ func (t *Txn) Commit() error {
 			t.releaseLocks(0)
 			hold()
 			e.Metrics.DurabilityFailures.Add(1)
+			t.obsEnd("durability-failure")
 			return fmt.Errorf("txn %s: committed in memory but WAL closed: %w: %w",
 				t.id, ErrDurability, err)
 		}
 		ticket = tk
+		if o != nil {
+			o.RecordWALStage(stageNS)
+			if t.trace != nil {
+				t.trace.Instant("stage", time.Since(o.Epoch).Nanoseconds(),
+					map[string]string{"ticket": strconv.FormatInt(int64(ticket), 10)})
+			}
+		}
 	}
 	if enrolled {
 		for _, g := range groups {
@@ -1070,17 +1169,32 @@ func (t *Txn) Commit() error {
 		if !t.wroteWAL && t.dep == 0 {
 			return nil
 		}
-		if err := e.log.Flush(); err != nil {
-			return err
+		var b0 time.Time
+		if o != nil {
+			b0 = time.Now()
 		}
-		if err := e.log.Err(); err != nil {
-			return err
+		err := func() error {
+			if err := e.log.Flush(); err != nil {
+				return err
+			}
+			if err := e.log.Err(); err != nil {
+				return err
+			}
+			dep := t.dep
+			if ticket > dep {
+				dep = ticket
+			}
+			return e.log.WaitDurable(dep)
+		}()
+		if o != nil {
+			d := time.Since(b0).Nanoseconds()
+			o.RecordBarrierWait(d, t.stalled)
+			if t.trace != nil {
+				end := time.Since(o.Epoch).Nanoseconds()
+				t.trace.Span("barrier", end-d, end, nil)
+			}
 		}
-		dep := t.dep
-		if ticket > dep {
-			dep = ticket
-		}
-		return e.log.WaitDurable(dep)
+		return err
 	}
 	if pol == ReleaseAfterAck {
 		// Hold every lock across the barrier: no other transaction can
@@ -1094,10 +1208,12 @@ func (t *Txn) Commit() error {
 		hold()
 		if err != nil {
 			e.Metrics.DurabilityFailures.Add(1)
+			t.obsEnd("durability-failure")
 			return fmt.Errorf("txn %s: committed in memory but WAL backend failed: %w: %w",
 				t.id, ErrDurability, err)
 		}
 		e.Metrics.Commits.Add(1)
+		t.obsEnd("commit")
 		return nil
 	}
 	// Phase 2b: release locks and wake waiters before the barrier (early
@@ -1127,10 +1243,12 @@ func (t *Txn) Commit() error {
 		// effects visible) but the durable log is behind: fail loudly
 		// rather than ack a commit the backend never persisted.
 		e.Metrics.DurabilityFailures.Add(1)
+		t.obsEnd("durability-failure")
 		return fmt.Errorf("txn %s: committed in memory but WAL backend failed: %w: %w",
 			t.id, ErrDurability, err)
 	}
 	e.Metrics.Commits.Add(1)
+	t.obsEnd("commit")
 	return nil
 }
 
@@ -1180,10 +1298,12 @@ func (t *Txn) Abort() error {
 		}
 		if firstErr == nil && ferr != nil {
 			e.Metrics.DurabilityFailures.Add(1)
+			t.obsEnd("durability-failure")
 			return fmt.Errorf("txn %s: aborted in memory but WAL backend failed: %w: %w",
 				t.id, ErrDurability, ferr)
 		}
 	}
+	t.obsEnd("abort")
 	if firstErr != nil {
 		return firstErr
 	}

@@ -1,0 +1,113 @@
+package wal
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/history"
+)
+
+// TestStatsMatchesAccessors checks that on a quiesced log every Stats
+// field equals its individual accessor — the consolidation changed the
+// read protocol, not the numbers.
+func TestStatsMatchesAccessors(t *testing.T) {
+	l := New()
+	for i := 0; i < 10; i++ {
+		l.Append(Record{Kind: Update, Txn: history.TxnID(fmt.Sprintf("T%d", i)), Obj: "X", Op: adt.DepositOk(1)})
+	}
+	if _, err := l.TruncateBefore(4); err != nil {
+		t.Fatal(err)
+	}
+	s := l.Stats()
+	if s.Flushes != l.Flushes() {
+		t.Errorf("Flushes: %d vs %d", s.Flushes, l.Flushes())
+	}
+	if s.FlushedRecords != l.FlushedRecords() {
+		t.Errorf("FlushedRecords: %d vs %d", s.FlushedRecords, l.FlushedRecords())
+	}
+	if s.StripeAcquisitions != l.StripeAcquisitions() {
+		t.Errorf("StripeAcquisitions: %d vs %d", s.StripeAcquisitions, l.StripeAcquisitions())
+	}
+	if s.DurableLSN != l.DurableLSN() {
+		t.Errorf("DurableLSN: %d vs %d", s.DurableLSN, l.DurableLSN())
+	}
+	if s.Records != l.Records() {
+		t.Errorf("Records: %d vs %d", s.Records, l.Records())
+	}
+	if s.Bytes != l.Bytes() {
+		t.Errorf("Bytes: %d vs %d", s.Bytes, l.Bytes())
+	}
+	if s.Base != l.Base() {
+		t.Errorf("Base: %d vs %d", s.Base, l.Base())
+	}
+	if s.Discipline != l.Discipline() {
+		t.Errorf("Discipline: %q vs %q", s.Discipline, l.Discipline())
+	}
+	if s.Truncate != l.TruncateStats() {
+		t.Errorf("Truncate: %+v vs %+v", s.Truncate, l.TruncateStats())
+	}
+	if s.Err != l.Err() {
+		t.Errorf("Err: %v vs %v", s.Err, l.Err())
+	}
+	if s.Base != 3 || s.Records != 7 {
+		t.Errorf("after TruncateBefore(4): Base=%d Records=%d, want 3 and 7", s.Base, s.Records)
+	}
+}
+
+// TestStatsCoherentUnderConcurrency is the torn-read proof. On a log
+// without a backend the invariant DurableLSN == Base + Records holds at
+// every sequence point (everything sequenced is durable, LSNs are never
+// renumbered). Reading Base and Records through the individual accessors
+// while appenders and a truncator run can violate it — each accessor
+// locks separately, so a truncation can land between the two reads.
+// Stats reads all fields under one sequence point, so the invariant
+// must hold in every snapshot it returns.
+func TestStatsCoherentUnderConcurrency(t *testing.T) {
+	l := New()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			txn := history.TxnID(fmt.Sprintf("W%d", w))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				l.Append(Record{Kind: Update, Txn: txn, Obj: "X", Op: adt.DepositOk(1)})
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			durable := l.DurableLSN()
+			if durable > 2 {
+				if _, err := l.TruncateBefore(durable - 2); err != nil {
+					t.Errorf("truncate: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		s := l.Stats()
+		if got := s.Base + LSN(s.Records); s.DurableLSN != got {
+			t.Fatalf("torn snapshot %d: DurableLSN=%d but Base+Records=%d (+%d records, base %d)",
+				i, s.DurableLSN, got, s.Records, s.Base)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

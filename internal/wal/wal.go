@@ -68,6 +68,7 @@ import (
 	"time"
 
 	"repro/internal/history"
+	"repro/internal/obs"
 	"repro/internal/spec"
 	stripepkg "repro/internal/stripe"
 )
@@ -348,7 +349,18 @@ type Log struct {
 	// (stage and AppendBatchAsync; the flusher's drain is excluded) — the
 	// machine-independent synchronization cost the pipeline sweep reports.
 	stripeAcqs atomic.Int64
+
+	// obsv is the optional observability hub the flusher reports batch
+	// sizes, dwell, and sync durations into. Attached after Open (the
+	// flusher may already be running) through an atomic pointer so the
+	// hand-off needs no lock; nil means disabled and every hook is a
+	// nil-receiver no-op.
+	obsv atomic.Pointer[obs.Observer]
 }
+
+// SetObserver attaches the observability hub the flusher records into.
+// Safe to call while the flusher runs; a nil observer detaches.
+func (l *Log) SetObserver(o *obs.Observer) { l.obsv.Store(o) }
 
 // New builds an empty synchronous in-memory log with a stripe count derived
 // from GOMAXPROCS.
@@ -678,13 +690,28 @@ func (l *Log) flusher() {
 		case <-l.wake:
 		}
 		if l.batchInterval > 0 {
+			// The dwell — wake to sequencing — is a phase of every commit's
+			// barrier latency; the observer's histogram is how E15's
+			// dwell-vs-batch-size trade-off becomes visible per flush.
+			o := l.obsv.Load()
+			var dwell0 time.Time
+			if o != nil {
+				dwell0 = time.Now()
+			}
 			t := time.NewTimer(l.batchInterval)
+			quitting := false
 			select {
 			case <-t.C:
 			case <-l.full:
 				t.Stop()
 			case <-l.quit:
 				t.Stop()
+				quitting = true
+			}
+			if o != nil {
+				o.RecordFlushDwell(time.Since(dwell0).Nanoseconds())
+			}
+			if quitting {
 				l.flushOnce()
 				return
 			}
@@ -782,7 +809,16 @@ func (l *Log) flushOnce() {
 		case l.dead:
 			lost = true // frozen since the first sync failure
 		case l.backend != nil:
-			if err := l.backend.Sync(recs); err != nil {
+			o := l.obsv.Load()
+			var sync0 time.Time
+			if o != nil {
+				sync0 = time.Now()
+			}
+			err := l.backend.Sync(recs)
+			if o != nil {
+				o.RecordFlushSync(time.Since(sync0).Nanoseconds())
+			}
+			if err != nil {
 				l.dead = true
 				syncFailed = err
 			}
@@ -803,6 +839,7 @@ func (l *Log) flushOnce() {
 		l.mu.Unlock()
 		l.flushes.Add(1)
 		l.flushed.Add(int64(len(batch)))
+		l.obsv.Load().RecordFlushBatch(int64(len(batch)))
 	}
 	l.flushMu.Unlock()
 	for _, w := range ws {
@@ -884,6 +921,52 @@ func (l *Log) Flushes() int64 { return l.flushes.Load() }
 // FlushedRecords returns the total records sequenced by flush batches
 // (FlushedRecords/Flushes is the mean group-commit batch size).
 func (l *Log) FlushedRecords() int64 { return l.flushed.Load() }
+
+// Stats is a coherent snapshot of every accounting figure the log
+// exposes. The individual accessors (Flushes, Records, Base, ...) each
+// take their own lock, so a caller reading several of them can observe
+// torn cross-field states — Records from before a truncation and Base
+// from after it. Stats reads everything under one sequence point.
+type Stats struct {
+	Flushes            int64         `json:"flushes"`
+	FlushedRecords     int64         `json:"flushed_records"`
+	StripeAcquisitions int64         `json:"stripe_acquisitions"`
+	DurableTicket      Ticket        `json:"durable_ticket"`
+	DurableLSN         LSN           `json:"durable_lsn"`
+	Records            int           `json:"records"`
+	Bytes              int64         `json:"bytes"`
+	Base               LSN           `json:"base"`
+	Discipline         string        `json:"discipline,omitempty"`
+	Truncate           TruncateStats `json:"truncate"`
+	Err                error         `json:"-"`
+}
+
+// Stats returns the log's accounting under a single sequence point:
+// staged records are sequenced first, then every field is read while
+// holding flushMu and mu (the flushOnce / TruncateBefore lock order),
+// so no flush or truncation can interleave between fields. On a
+// quiesced log each field equals its individual accessor.
+func (l *Log) Stats() Stats {
+	l.sequenceStaged()
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+	s := Stats{
+		Flushes:            l.flushes.Load(),
+		FlushedRecords:     l.flushed.Load(),
+		StripeAcquisitions: l.stripeAcqs.Load(),
+		Truncate:           l.truncStats,
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s.DurableTicket = Ticket(l.durableTicket)
+	s.DurableLSN = l.durableLSN
+	s.Records = len(l.records)
+	s.Bytes = l.bytes
+	s.Base = l.base
+	s.Discipline = l.discipline
+	s.Err = l.syncErr
+	return s
+}
 
 // Get returns the record at the LSN, flushing staged records first. A
 // truncated LSN (at or below Base) is absent.
